@@ -1,0 +1,150 @@
+// Command spgemm-bench regenerates the tables and figures of the
+// paper's evaluation section on the synthetic suite and the simulated
+// CPU-GPU node.
+//
+// Usage:
+//
+//	spgemm-bench -exp=all
+//	spgemm-bench -exp=fig7,table3
+//
+// Experiments: table1, table2, fig4, fig7, fig8, fig9, fig10, table3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/trace"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiments to run (table1,table2,fig4,fig7,fig8,fig9,fig10,table3,scaling,distributed,gridsweep,ablation-ub,ablation-um,ablation-split,timeline,all)")
+	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	pick := func(name string) bool { return all || want[name] }
+
+	runs, err := exp.Suite()
+	if err != nil {
+		fail(err)
+	}
+
+	type experiment struct {
+		name string
+		run  func() (*exp.Table, error)
+	}
+	experiments := []experiment{
+		{"table1", func() (*exp.Table, error) { return exp.Table1(), nil }},
+		{"table2", func() (*exp.Table, error) { return exp.Table2(runs), nil }},
+		{"fig4", func() (*exp.Table, error) { return exp.Fig4(runs) }},
+		{"fig7", func() (*exp.Table, error) { return exp.Fig7(runs) }},
+		{"fig8", func() (*exp.Table, error) { return exp.Fig8(runs) }},
+		{"fig9", func() (*exp.Table, error) { return exp.Fig9(runs) }},
+		{"fig10", func() (*exp.Table, error) { return exp.Fig10(runs) }},
+		{"table3", func() (*exp.Table, error) { return exp.Table3(runs) }},
+		{"scaling", func() (*exp.Table, error) { return exp.FigScaling(runs) }},
+		{"ablation-ub", func() (*exp.Table, error) { return exp.AblationUpperBound(runs), nil }},
+		{"ablation-um", func() (*exp.Table, error) { return exp.AblationUnifiedMemory(runs) }},
+		{"ablation-split", func() (*exp.Table, error) { return exp.AblationSplitFraction(runs) }},
+		{"gridsweep", func() (*exp.Table, error) { return exp.GridSweep(runs, "com-lj") }},
+		{"distributed", func() (*exp.Table, error) { return exp.FigDistributed(runs) }},
+		{"formulation", func() (*exp.Table, error) { return exp.AblationFormulation(runs) }},
+		{"locality", func() (*exp.Table, error) { return exp.AblationLocality() }},
+		{"sensitivity", func() (*exp.Table, error) { return exp.SensitivityBandwidth(runs, "com-lj") }},
+		{"phases", func() (*exp.Table, error) { return exp.PhaseBreakdown(runs) }},
+	}
+
+	ran := 0
+	if pick("timeline") {
+		if err := printTimeline(runs); err != nil {
+			fail(err)
+		}
+		ran++
+	}
+	for _, e := range experiments {
+		if !pick(e.name) {
+			continue
+		}
+		t, err := e.run()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", e.name, err))
+		}
+		if err := t.Fprint(os.Stdout); err != nil {
+			fail(err)
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, e.name, t); err != nil {
+				fail(err)
+			}
+		}
+		ran++
+	}
+	if ran == 0 {
+		fail(fmt.Errorf("no experiment matches %q", *expFlag))
+	}
+}
+
+// printTimeline renders the Figure 5/6-style schedules: the first
+// suite matrix's synchronous and asynchronous device timelines.
+func printTimeline(runs []*exp.Run) error {
+	r := runs[0]
+	for _, mode := range []struct {
+		name string
+		opts func() core.Options
+	}{
+		{"synchronous (Figure 5 situation: no overlap)", func() core.Options {
+			o := r.CoreOpts()
+			o.DynamicAlloc = true
+			return o
+		}},
+		{"asynchronous (Figure 6 schedule: split + reordered transfers)", func() core.Options {
+			o := r.CoreOpts()
+			o.Async = true
+			o.Reorder = true
+			return o
+		}},
+	} {
+		_, _, tl, err := core.RunTraced(r.A, r.A, r.Cfg(), mode.opts())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Timeline: %s on %s ==\n", mode.name, r.Entry.Abbr)
+		fmt.Print(trace.Gantt(tl, 100))
+		if err := trace.FprintUtilization(os.Stdout, tl); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// writeCSV writes one experiment table to <dir>/<name>.csv.
+func writeCSV(dir, name string, t *exp.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := t.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "spgemm-bench:", err)
+	os.Exit(1)
+}

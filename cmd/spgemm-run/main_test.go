@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"1024", 1024, true},
+		{"64M", 64 << 20, true},
+		{"2G", 2 << 30, true},
+		{"512K", 512 << 10, true},
+		{" 16m ", 16 << 20, true},
+		{"", 0, false},
+		{"abc", 0, false},
+		{"12T", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseBytes(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseBytes(%q) succeeded, want error", c.in)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Hybridtune: sweep the GPU/CPU flop-allocation ratio of the hybrid
+// engine on one matrix and print the GFLOPS curve — the workflow
+// behind the paper's Figure 10 and Table III, as a user program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/spgemm"
+)
+
+func main() {
+	a := spgemm.RMAT(12, 9, 0.55, 0.2, 0.2, 1002) // com-LiveJournal analog
+	cfg := spgemm.V100WithMemory(24 << 20)
+	core, err := spgemm.Plan(a, a, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A finer grid than the minimal plan smooths the ratio curve (the
+	// split is quantized to whole chunks).
+	if core.RowPanels < 4 {
+		core.RowPanels = 4
+	}
+	if core.ColPanels < 4 {
+		core.ColPanels = 4
+	}
+	fmt.Printf("matrix: %d vertices, %d edges; grid %dx%d\n",
+		a.Rows, a.Nnz(), core.RowPanels, core.ColPanels)
+	fmt.Println("ratio  GPU-chunks  CPU-chunks  sim-ms   GFLOPS")
+
+	bestRatio, bestGF := 0.0, 0.0
+	for ratio := 0.30; ratio <= 0.96; ratio += 0.05 {
+		_, st, err := spgemm.MultiplyHybrid(a, a, cfg, spgemm.HybridOptions{
+			Core:    core,
+			Reorder: true,
+			Ratio:   ratio,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bar := strings.Repeat("#", int(st.GFLOPS*20))
+		fmt.Printf("%4.0f%%  %10d  %10d  %6.3f  %6.3f %s\n",
+			ratio*100, st.GPUChunks, st.CPUChunks, st.TotalSec*1e3, st.GFLOPS, bar)
+		if st.GFLOPS > bestGF {
+			bestRatio, bestGF = ratio, st.GFLOPS
+		}
+	}
+	fmt.Printf("\nbest ratio: %.0f%% (%.3f GFLOPS)\n", bestRatio*100, bestGF)
+	fmt.Println("the paper finds a fixed ratio near-optimal across matrices (Table III);")
+	fmt.Println("the curve above rises to a peak and then drops, as in Figure 10.")
+}

@@ -1,0 +1,61 @@
+// Multigpu: scale one SpGEMM across several simulated GPUs — the
+// "continue to scale to arbitrarily large matrices" direction of the
+// paper's conclusion. Chunks of the output grid are independent, so
+// devices never need to communicate; scheduling is the whole problem.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/spgemm"
+)
+
+func main() {
+	// A web-graph-like matrix with a high compression ratio.
+	a := spgemm.Band(24000, 8, 99)
+	fmt.Printf("A: %d rows, %d non-zeros; %d flops to square\n",
+		a.Rows, a.Nnz(), spgemm.Flops(a, a))
+
+	cfg := spgemm.V100WithMemory(24 << 20)
+	core, err := spgemm.Plan(a, a, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A finer grid exposes more parallelism across devices.
+	core.RowPanels, core.ColPanels = core.RowPanels*2, core.ColPanels*2
+	fmt.Printf("chunk grid: %dx%d\n\n", core.RowPanels, core.ColPanels)
+
+	var ref *spgemm.Matrix
+	var base float64
+	fmt.Println("GPUs  sim-ms   GFLOPS  speedup  chunks/GPU")
+	for _, n := range []int{1, 2, 4, 8} {
+		c, st, err := spgemm.MultiplyMultiGPU(a, a, cfg, spgemm.MultiGPUOptions{
+			Core:    core,
+			NumGPUs: n,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ref == nil {
+			ref = c
+			base = st.TotalSec
+		} else if !spgemm.Equal(ref, c, 1e-9) {
+			log.Fatal("multi-GPU result differs from single-GPU result")
+		}
+		fmt.Printf("%4d  %6.3f  %6.3f  %6.2fx  %v\n",
+			n, st.TotalSec*1e3, st.GFLOPS, base/st.TotalSec, st.GPUChunks)
+	}
+
+	// Add the CPU as one more worker.
+	_, st, err := spgemm.MultiplyMultiGPU(a, a, cfg, spgemm.MultiGPUOptions{
+		Core:    core,
+		NumGPUs: 8,
+		UseCPU:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n8 GPUs + CPU: %.3f ms (%.3f GFLOPS), CPU took %d chunks\n",
+		st.TotalSec*1e3, st.GFLOPS, st.CPUChunks)
+}

@@ -1,0 +1,94 @@
+package accum
+
+import "sort"
+
+// Sort is an expand-sort-compress (ESC) accumulator in the style of
+// Bell et al. [7,9] (the paper's related work): intermediate products
+// are appended unsorted to an expansion buffer; on Flush the buffer is
+// sorted by column id and compressed by summing runs of equal columns.
+// ESC needs no hash table or dense array but touches every
+// intermediate product twice; it is the classic baseline the hash and
+// dense accumulators are measured against.
+type Sort struct {
+	cols []int32
+	vals []float64
+	// distinct caches the Len computation between calls; -1 = dirty.
+	distinct int
+}
+
+// NewSort creates an ESC accumulator with the given initial expansion
+// capacity.
+func NewSort(capacity int) *Sort {
+	return &Sort{
+		cols:     make([]int32, 0, capacity),
+		vals:     make([]float64, 0, capacity),
+		distinct: 0,
+	}
+}
+
+// Add appends an intermediate product to the expansion buffer.
+func (s *Sort) Add(col int32, val float64) {
+	s.cols = append(s.cols, col)
+	s.vals = append(s.vals, val)
+	s.distinct = -1
+}
+
+// AddSymbolic appends a column to the expansion buffer.
+func (s *Sort) AddSymbolic(col int32) {
+	s.cols = append(s.cols, col)
+	s.vals = append(s.vals, 0)
+	s.distinct = -1
+}
+
+// Len reports the number of distinct columns, sorting the buffer if
+// needed (ESC has no cheaper way to know).
+func (s *Sort) Len() int {
+	if s.distinct >= 0 {
+		return s.distinct
+	}
+	s.sortBuffer()
+	n := 0
+	for i := range s.cols {
+		if i == 0 || s.cols[i] != s.cols[i-1] {
+			n++
+		}
+	}
+	s.distinct = n
+	return n
+}
+
+func (s *Sort) sortBuffer() {
+	sort.Sort(&pairSorter{s.cols, s.vals})
+}
+
+// Flush sorts, compresses and appends the (column, value) pairs.
+func (s *Sort) Flush(cols []int32, vals []float64) ([]int32, []float64) {
+	s.sortBuffer()
+	for i := 0; i < len(s.cols); {
+		c := s.cols[i]
+		v := s.vals[i]
+		for i++; i < len(s.cols) && s.cols[i] == c; i++ {
+			v += s.vals[i]
+		}
+		cols = append(cols, c)
+		vals = append(vals, v)
+	}
+	s.Reset()
+	return cols, vals
+}
+
+// FlushSymbolic reports the distinct-column count and resets.
+func (s *Sort) FlushSymbolic() int {
+	n := s.Len()
+	s.Reset()
+	return n
+}
+
+// Reset clears the expansion buffer, retaining capacity.
+func (s *Sort) Reset() {
+	s.cols = s.cols[:0]
+	s.vals = s.vals[:0]
+	s.distinct = 0
+}
+
+var _ Accumulator = (*Sort)(nil)

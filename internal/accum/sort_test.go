@@ -1,0 +1,120 @@
+package accum
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortMatchesHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSort(4)
+	h := NewHash(4)
+	for i := 0; i < 3000; i++ {
+		c := int32(rng.Intn(700))
+		v := float64(rng.Intn(9) - 4)
+		s.Add(c, v)
+		h.Add(c, v)
+	}
+	if s.Len() != h.Len() {
+		t.Fatalf("Len: sort %d, hash %d", s.Len(), h.Len())
+	}
+	sc, sv := s.Flush(nil, nil)
+	hc, hv := h.Flush(nil, nil)
+	for i := range sc {
+		if sc[i] != hc[i] || sv[i] != hv[i] {
+			t.Fatalf("pair %d: sort (%d,%v) hash (%d,%v)", i, sc[i], sv[i], hc[i], hv[i])
+		}
+	}
+}
+
+func TestSortSymbolic(t *testing.T) {
+	s := NewSort(2)
+	for i := 0; i < 40; i++ {
+		s.AddSymbolic(int32(i % 8))
+	}
+	if n := s.FlushSymbolic(); n != 8 {
+		t.Fatalf("symbolic = %d, want 8", n)
+	}
+	if n := s.FlushSymbolic(); n != 0 {
+		t.Fatalf("after flush = %d, want 0", n)
+	}
+}
+
+func TestSortLenCachedAcrossAdds(t *testing.T) {
+	s := NewSort(2)
+	s.Add(5, 1)
+	s.Add(5, 1)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Adding after Len must invalidate the cache.
+	s.Add(7, 1)
+	if s.Len() != 2 {
+		t.Fatalf("Len after new column = %d", s.Len())
+	}
+	// Flush after Len-triggered sorting must still compress correctly.
+	cols, vals := s.Flush(nil, nil)
+	if len(cols) != 2 || cols[0] != 5 || vals[0] != 2 || cols[1] != 7 {
+		t.Fatalf("Flush = %v %v", cols, vals)
+	}
+}
+
+func TestSortReset(t *testing.T) {
+	s := NewSort(2)
+	s.Add(1, 1)
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", s.Len())
+	}
+	s.Add(3, 4)
+	cols, vals := s.Flush(nil, nil)
+	if len(cols) != 1 || cols[0] != 3 || vals[0] != 4 {
+		t.Fatalf("stale state: %v %v", cols, vals)
+	}
+}
+
+func TestQuickSortDenseAgree(t *testing.T) {
+	g := func(ops []struct {
+		Col uint16
+		Val int8
+	}) bool {
+		const width = 1 << 16
+		s := NewSort(4)
+		d := NewDense(width)
+		for _, op := range ops {
+			s.Add(int32(op.Col), float64(op.Val))
+			d.Add(int32(op.Col), float64(op.Val))
+		}
+		sc, sv := s.Flush(nil, nil)
+		dc, dv := d.Flush(nil, nil)
+		if len(sc) != len(dc) {
+			return false
+		}
+		for i := range sc {
+			if sc[i] != dc[i] || sv[i] != dv[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSortAccumulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cols := make([]int32, 4096)
+	for i := range cols {
+		cols[i] = int32(rng.Intn(1 << 20))
+	}
+	acc := NewSort(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cols {
+			acc.Add(c, 1.0)
+		}
+		acc.Flush(nil, nil)
+	}
+}

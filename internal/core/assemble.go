@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/csr"
+	"repro/internal/speck"
+)
+
+// Assemble merges all chunk results into the final product matrix on
+// the host. Because chunks of one row panel cover disjoint, ordered
+// column ranges, each output row is the concatenation of its chunk
+// rows in column-panel order, with column ids rebased to global.
+func (e *Engine) Assemble() (*csr.Matrix, error) {
+	nc := len(e.ColPanels)
+	for id := 0; id < e.NumChunks(); id++ {
+		if e.Results[id] == nil {
+			return nil, fmt.Errorf("core: chunk %d missing (processed %d of %d)", id, len(e.Results), e.NumChunks())
+		}
+	}
+	return AssembleChunks(e.rows, e.cols, len(e.RowPanels), nc,
+		func(r, c int) *csr.Matrix { return e.Results[r*nc+c].C },
+		func(r int) int { return e.RowPanels[r].Start },
+		func(c int) int { return e.ColPanels[c].Start },
+	)
+}
+
+// AssembleChunks builds the final rows x cols matrix from a grid of
+// chunk matrices. chunk(r,c) returns the chunk of row panel r and
+// column panel c (panel-local columns); rowStart and colStart give the
+// global offsets of each panel.
+func AssembleChunks(rows, cols, numRow, numCol int,
+	chunk func(r, c int) *csr.Matrix,
+	rowStart func(r int) int,
+	colStart func(c int) int) (*csr.Matrix, error) {
+
+	out := &csr.Matrix{Rows: rows, Cols: cols, RowOffsets: make([]int64, rows+1)}
+	// Pass 1: row sizes.
+	for r := 0; r < numRow; r++ {
+		base := rowStart(r)
+		for c := 0; c < numCol; c++ {
+			m := chunk(r, c)
+			for lr := 0; lr < m.Rows; lr++ {
+				out.RowOffsets[base+lr+1] += m.RowNnz(lr)
+			}
+		}
+	}
+	for i := 0; i < rows; i++ {
+		out.RowOffsets[i+1] += out.RowOffsets[i]
+	}
+	nnz := out.RowOffsets[rows]
+	out.ColIDs = make([]int32, nnz)
+	out.Data = make([]float64, nnz)
+
+	// Pass 2: fill, walking column panels in order so each row stays
+	// sorted.
+	pos := make([]int64, rows)
+	for r := 0; r < numRow; r++ {
+		base := rowStart(r)
+		for lr := 0; lr < rowEnd(r, numRow, rows, rowStart)-base; lr++ {
+			pos[base+lr] = out.RowOffsets[base+lr]
+		}
+		for c := 0; c < numCol; c++ {
+			m := chunk(r, c)
+			off := int32(colStart(c))
+			for lr := 0; lr < m.Rows; lr++ {
+				gc, gv := m.Row(lr)
+				w := pos[base+lr]
+				for i := range gc {
+					out.ColIDs[w] = gc[i] + off
+					out.Data[w] = gv[i]
+					w++
+				}
+				pos[base+lr] = w
+			}
+		}
+	}
+	return out, nil
+}
+
+func rowEnd(r, numRow, rows int, rowStart func(int) int) int {
+	if r+1 < numRow {
+		return rowStart(r + 1)
+	}
+	return rows
+}
+
+// PutCPUResult gives the hybrid package a uniform way to register a
+// chunk computed on the CPU: it wraps a bare product matrix in a
+// speck.Result carrying its flop count.
+func (e *Engine) PutCPUResult(id int, c *csr.Matrix, flops int64) {
+	e.Results[id] = &speck.Result{
+		C:           c,
+		Flops:       flops,
+		OutputBytes: c.Bytes(),
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/speck"
+)
+
+// processAsync is the paper's asynchronous pipeline (Section IV-B,
+// Figure 6). For each chunk i in schedule order:
+//
+//	H2D inputs(i)
+//	analysis kernel(i)
+//	D2H row info(i)                 <- transfer 1 in Figure 6
+//	  host grouping
+//	D2H output portion 1 of (i-1)   <- transfer 2, overlaps symbolic(i)
+//	symbolic kernels(i)
+//	D2H nnz info(i)                 <- transfer 3
+//	  host prefix sum, arena offsets assigned
+//	D2H output portion 2 of (i-1)   <- transfer 4, overlaps numeric(i)
+//	numeric kernels(i)
+//
+// All D2H transfers are enqueued on one in-order stream, giving exactly
+// the Figure 6 ordering on the single device-to-host DMA engine. The
+// output region is double buffered: a chunk's numeric phase cannot
+// start until the buffer last used two chunks ago has drained to the
+// host. No device allocation happens after the initial arena Malloc,
+// so nothing ever serializes the device mid-pipeline.
+func (e *Engine) processAsync(p *sim.Proc, ids []int) {
+	dev := e.Dev
+
+	if _, err := dev.Malloc(p, "arena", dev.Cfg.MemoryBytes); err != nil {
+		e.fail(err)
+		return
+	}
+	arena := dev.Cfg.MemoryBytes
+	var arenaUsed int64
+	var cache *inputCache
+	// reserve takes arena space for working structures, evicting cached
+	// input panels (except the pinned current ones) when necessary.
+	reserve := func(p *sim.Proc, label string, bytes int64, pinned ...string) bool {
+		for arenaUsed+bytes > arena-cache.bytes {
+			if !cache.evictOne(p, pinned...) {
+				e.fail(fmt.Errorf("core: async pipeline does not fit arena (%d used + %d %s > %d); increase RowPanels/ColPanels",
+					arenaUsed, bytes, label, arena))
+				return false
+			}
+		}
+		arenaUsed += bytes
+		return true
+	}
+
+	out := dev.NewStream("d2h-out")
+
+	// Output buffering (the paper double-buffers): slotDone[s] fires
+	// when the output occupying slot s has fully reached the host.
+	nbuf := e.Opts.OutputBuffers
+	slotDone := make([]*sim.Signal, nbuf)
+	for s := range slotDone {
+		slotDone[s] = &sim.Signal{}
+		slotDone[s].Fire(p) // all slots start free
+	}
+	slotBytes := make([]int64, nbuf)
+
+	type pending struct {
+		id   int
+		res  *speck.Result
+		slot int
+	}
+	var prev *pending
+	cache = newInputCache(e, false)
+
+	slotCounter := 0
+	for _, id := range ids {
+		rp, cp := e.chunkPanels(id)
+		res, err := speck.Compute(rp.M, cp.M, e.cm)
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		e.Results[id] = res
+		if res.Flops == 0 {
+			// Empty chunk: known from the host-side flop analysis, no
+			// device work or transfer required.
+			continue
+		}
+		slot := slotCounter % nbuf
+		slotCounter++
+
+		// Inputs stay resident between chunks while the arena allows.
+		aBytes, bBytes := inputBytes(rp, cp)
+		aKey, bKey := panelKeys(rp, cp)
+		capacityLeft := func() int64 { return arena - arenaUsed }
+		if err := cache.ensure(p, aKey, lbl("A panel", id), aBytes, capacityLeft, aKey, bKey); err != nil {
+			e.fail(err)
+			return
+		}
+		if err := cache.ensure(p, bKey, lbl("B panel", id), bBytes, capacityLeft, aKey, bKey); err != nil {
+			e.fail(err)
+			return
+		}
+
+		// Row analysis, then its (small) D2H. The previous chunk's
+		// output is deliberately NOT transferred yet: the paper gives
+		// up overlap during this short stage so the pipeline can keep
+		// processing chunk i without waiting on chunk i-1's transfer.
+		if !reserve(p, "workspace", res.WorkspaceBytes, aKey, bKey) {
+			return
+		}
+		dev.Kernel(p, lbl("analysis", id), res.AnalysisSec)
+		rowInfoDone := out.Enqueue(lbl("row info", id), func(q *sim.Proc) {
+			dev.TransferD2H(q, lbl("row info", id), res.RowInfoBytes)
+		})
+		p.Await(rowInfoDone) // host grouping needs the row analysis
+
+		// Transfer 2: first portion of the previous chunk's output,
+		// overlapping this chunk's symbolic phase.
+		if prev != nil {
+			bytes1 := int64(float64(prev.res.OutputBytes) * e.Opts.SplitFraction)
+			pr := prev
+			out.Enqueue(lbl("output p1", pr.id), func(q *sim.Proc) {
+				dev.TransferD2H(q, lbl("output p1", pr.id), bytes1)
+			})
+		}
+		e.launchGroupKernels(p, id, res, "symbolic")
+
+		// Transfer 3: this chunk's symbolic results; the host needs
+		// them to assign arena offsets for the output arrays.
+		nnzInfoDone := out.Enqueue(lbl("nnz info", id), func(q *sim.Proc) {
+			dev.TransferD2H(q, lbl("nnz info", id), res.NnzInfoBytes)
+		})
+		p.Await(nnzInfoDone)
+
+		// Transfer 4: remainder of the previous chunk's output,
+		// overlapping this chunk's numeric phase. Its completion frees
+		// the previous chunk's buffer slot.
+		if prev != nil {
+			pr := prev
+			bytes2 := pr.res.OutputBytes - int64(float64(pr.res.OutputBytes)*e.Opts.SplitFraction)
+			done := out.Enqueue(lbl("output p2", pr.id), func(q *sim.Proc) {
+				dev.TransferD2H(q, lbl("output p2", pr.id), bytes2)
+			})
+			slotDone[pr.slot] = done
+		}
+
+		// Output allocation: wait for this chunk's buffer slot to have
+		// drained (two chunks ago), then take arena space for it.
+		p.Await(slotDone[slot])
+		arenaUsed -= slotBytes[slot]
+		slotBytes[slot] = res.OutputBytes
+		if !reserve(p, "output", res.OutputBytes, aKey, bKey) {
+			return
+		}
+		e.launchGroupKernels(p, id, res, "numeric")
+		arenaUsed -= res.WorkspaceBytes
+
+		prev = &pending{id: id, res: res, slot: slot}
+	}
+
+	// Drain: transfer the last chunk's output (both portions).
+	if prev != nil {
+		pr := prev
+		bytes1 := int64(float64(pr.res.OutputBytes) * e.Opts.SplitFraction)
+		out.Enqueue(lbl("output p1", pr.id), func(q *sim.Proc) {
+			dev.TransferD2H(q, lbl("output p1", pr.id), bytes1)
+		})
+		done := out.Enqueue(lbl("output p2", pr.id), func(q *sim.Proc) {
+			dev.TransferD2H(q, lbl("output p2", pr.id), pr.res.OutputBytes-bytes1)
+		})
+		p.Await(done)
+	}
+	// Await any remaining slot drains so the makespan includes them.
+	p.AwaitAll(slotDone...)
+}

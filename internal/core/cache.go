@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+	"repro/internal/sim"
+)
+
+// inputCache keeps input panels resident on the device between chunks.
+// The paper notes (Section III-C) that panels are kept on device memory
+// when possible; only the output is inherently out-of-core. Panels are
+// transferred on first use and evicted FIFO when the arena (or, in
+// dynamic mode, the device allocator) runs out of room.
+type inputCache struct {
+	e       *Engine
+	dynamic bool
+	entries map[string]*cacheEntry
+	order   []string // insertion order for FIFO eviction
+	bytes   int64
+}
+
+type cacheEntry struct {
+	bytes int64
+	alloc *gpusim.Alloc // dynamic mode only
+}
+
+func newInputCache(e *Engine, dynamic bool) *inputCache {
+	return &inputCache{e: e, dynamic: dynamic, entries: map[string]*cacheEntry{}}
+}
+
+// ensure makes the panel identified by key resident, transferring it
+// host-to-device on a miss. capacityLeft reports how many arena bytes
+// remain for inputs (ignored in dynamic mode, where the device
+// allocator itself is the limit).
+func (c *inputCache) ensure(p *sim.Proc, key, label string, bytes int64, capacityLeft func() int64, pinned ...string) error {
+	if c.entries[key] != nil {
+		return nil
+	}
+	ent := &cacheEntry{bytes: bytes}
+	if c.dynamic {
+		for {
+			a, err := c.e.Dev.Malloc(p, label, bytes)
+			if err == nil {
+				ent.alloc = a
+				break
+			}
+			if !c.evictOne(p, pinned...) {
+				return fmt.Errorf("core: input panel %s (%d bytes) does not fit device memory: %w", key, bytes, err)
+			}
+		}
+	} else {
+		for c.bytes+bytes > capacityLeft() {
+			if !c.evictOne(p, pinned...) {
+				return fmt.Errorf("core: input panel %s (%d bytes) does not fit the arena (%d left); increase device memory or panel counts",
+					key, bytes, capacityLeft())
+			}
+		}
+	}
+	c.e.Dev.TransferH2D(p, label, bytes)
+	c.entries[key] = ent
+	c.order = append(c.order, key)
+	c.bytes += bytes
+	return nil
+}
+
+// evictOne drops the oldest resident panel that is not pinned (the
+// current chunk's panels are pinned); it reports false when nothing
+// can be evicted.
+func (c *inputCache) evictOne(p *sim.Proc, pinned ...string) bool {
+	for i, key := range c.order {
+		if contains(pinned, key) {
+			continue
+		}
+		c.order = append(c.order[:i:i], c.order[i+1:]...)
+		ent := c.entries[key]
+		delete(c.entries, key)
+		c.bytes -= ent.bytes
+		if ent.alloc != nil {
+			c.e.Dev.Free(p, ent.alloc)
+		}
+		return true
+	}
+	return false
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

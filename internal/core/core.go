@@ -1,0 +1,295 @@
+// Package core implements the paper's primary contribution: an
+// out-of-core SpGEMM framework that multiplies matrices whose output
+// does not fit in GPU memory.
+//
+// Following Algorithm 3, matrix A is partitioned into row panels and
+// matrix B into column panels; each (row panel, column panel) pair
+// produces an independent chunk of C under the row-column formulation,
+// which is what makes partitioning both inputs possible (Section III-A).
+// Chunks are computed on the (simulated) GPU with the spECK-style
+// in-core algorithm and streamed back to host memory.
+//
+// Two execution modes are provided:
+//
+//   - Synchronous (Async=false): the partitioned-spECK baseline of
+//     Section IV-A — each chunk's phases and its output transfer run
+//     back to back, optionally with per-phase dynamic device
+//     allocations (DynamicAlloc=true) as spECK performs them.
+//   - Asynchronous (Async=true): the paper's design. All device memory
+//     comes from one pre-allocated arena managed by offsets, so no
+//     malloc ever serializes the device; the output of chunk i-1 is
+//     split into two portions whose transfers overlap the symbolic and
+//     numeric phases of chunk i, with the small row-analysis and
+//     symbolic-info transfers scheduled between them (Figure 6); and
+//     chunks can be reordered by decreasing flops so transfers hide
+//     computation (Section IV-C).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/csr"
+	"repro/internal/gpusim"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/speck"
+)
+
+// Options configures an out-of-core multiplication.
+type Options struct {
+	// RowPanels and ColPanels give the chunk grid (Algorithm 3's
+	// num_row_panels and num_col_panels). Zero means 1.
+	RowPanels, ColPanels int
+	// Async enables the paper's asynchronous pipeline; false gives the
+	// synchronous partitioned-spECK baseline.
+	Async bool
+	// Reorder processes chunks in decreasing-flops order (Section IV-C).
+	Reorder bool
+	// SplitFraction is the share of the previous chunk's output rows
+	// transferred during the symbolic phase; the paper uses 33%.
+	// Zero means 1/3. Only used when Async is set.
+	SplitFraction float64
+	// DynamicAlloc performs per-phase device allocations like
+	// unmodified spECK instead of arena pre-allocation. Only meaningful
+	// for the synchronous mode: dynamic allocation forbids overlap, the
+	// very constraint the paper designs around.
+	DynamicAlloc bool
+	// OutputBuffers is the number of in-flight output chunk buffers in
+	// the asynchronous pipeline; the paper double-buffers (2, the
+	// default). More buffers trade device memory for tolerance to
+	// transfer-time variance.
+	OutputBuffers int
+	// PartitionThreads sets the parallelism of the host-side column
+	// partitioner; 0 means 4.
+	PartitionThreads int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RowPanels < 1 {
+		o.RowPanels = 1
+	}
+	if o.ColPanels < 1 {
+		o.ColPanels = 1
+	}
+	if o.SplitFraction <= 0 || o.SplitFraction >= 1 {
+		o.SplitFraction = 1.0 / 3.0
+	}
+	if o.PartitionThreads < 1 {
+		o.PartitionThreads = 4
+	}
+	if o.OutputBuffers < 2 {
+		o.OutputBuffers = 2
+	}
+	if o.Async && o.DynamicAlloc {
+		// The asynchronous pipeline requires pre-allocation; keep the
+		// combination well-defined by ignoring DynamicAlloc.
+		o.DynamicAlloc = false
+	}
+	return o
+}
+
+// Stats summarizes a run in simulated time.
+type Stats struct {
+	// TotalSec is the simulated makespan, including all output
+	// transfers (the paper's GFLOPS definition).
+	TotalSec float64
+	// TransferSec is the total time the two DMA engines were busy;
+	// TransferFraction is TransferSec / TotalSec (Figure 4's metric).
+	TransferSec      float64
+	TransferFraction float64
+	// ComputeSec is the time the kernel engine was busy.
+	ComputeSec float64
+	// Flops is the multiply-add flop count (x2) of the whole product.
+	Flops int64
+	// GFLOPS is Flops / TotalSec / 1e9.
+	GFLOPS float64
+	// NnzC is the number of non-zeros of the product.
+	NnzC int64
+	// MemPeakBytes is the device memory high-water mark.
+	MemPeakBytes int64
+	// Mallocs counts device allocations (1 in pre-allocated mode).
+	Mallocs int
+	// Chunks is RowPanels*ColPanels.
+	Chunks int
+}
+
+// Engine drives the out-of-core multiplication of one (A, B) pair on a
+// device. It is exported so the hybrid package can schedule a subset of
+// chunks on the GPU while a CPU worker takes the rest.
+type Engine struct {
+	Dev  *gpusim.Device
+	Opts Options
+
+	RowPanels []partition.RowPanel
+	ColPanels []partition.ColPanel
+
+	cm speck.CostModel
+
+	// Results maps chunk id (row*ColPanels+col) to the computed chunk.
+	Results map[int]*speck.Result
+
+	// err records the first failure inside simulation processes.
+	err error
+
+	rows, cols int // dimensions of C
+}
+
+// NewEngine partitions the inputs (host-side, real work) and prepares
+// an engine bound to the device.
+func NewEngine(dev *gpusim.Device, a, b *csr.Matrix, opts Options) (*Engine, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("core: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	opts = opts.withDefaults()
+	if opts.RowPanels > a.Rows && a.Rows > 0 {
+		return nil, fmt.Errorf("core: %d row panels for %d rows", opts.RowPanels, a.Rows)
+	}
+	rps, err := partition.RowPanels(a, opts.RowPanels)
+	if err != nil {
+		return nil, err
+	}
+	cps, err := partition.ColPanelsParallel(b, opts.ColPanels, opts.PartitionThreads)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		Dev:       dev,
+		Opts:      opts,
+		RowPanels: rps,
+		ColPanels: cps,
+		cm:        speck.ModelFromDevice(dev.Cfg),
+		Results:   map[int]*speck.Result{},
+		rows:      a.Rows,
+		cols:      b.Cols,
+	}, nil
+}
+
+// NumChunks returns the chunk count of the grid.
+func (e *Engine) NumChunks() int { return len(e.RowPanels) * len(e.ColPanels) }
+
+// chunkPanels resolves a chunk id to its panels.
+func (e *Engine) chunkPanels(id int) (partition.RowPanel, partition.ColPanel) {
+	nc := len(e.ColPanels)
+	return e.RowPanels[id/nc], e.ColPanels[id%nc]
+}
+
+// ChunkFlops computes the flop count of every chunk (GetFlops of
+// Algorithm 4), indexed by chunk id in row-major order.
+func (e *Engine) ChunkFlops() []int64 {
+	out := make([]int64, e.NumChunks())
+	for id := range out {
+		rp, cp := e.chunkPanels(id)
+		out[id] = csr.Flops(rp.M, cp.M)
+	}
+	return out
+}
+
+// ScheduleOrder returns the chunk ids in execution order: row-major by
+// default, decreasing flops when Opts.Reorder is set.
+func (e *Engine) ScheduleOrder() []int {
+	ids := make([]int, e.NumChunks())
+	for i := range ids {
+		ids[i] = i
+	}
+	if e.Opts.Reorder {
+		flops := e.ChunkFlops()
+		sort.SliceStable(ids, func(i, j int) bool { return flops[ids[i]] > flops[ids[j]] })
+	}
+	return ids
+}
+
+// Err returns the first error recorded by a simulation process.
+func (e *Engine) Err() error { return e.err }
+
+// fail records the first process error.
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// Run multiplies A·B out-of-core on a fresh simulated device and
+// returns the exact product plus simulated-time statistics. It is the
+// package's main entry point for GPU-only execution.
+func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, Stats, error) {
+	c, st, _, err := RunTraced(a, b, cfg, opts)
+	return c, st, err
+}
+
+// RunTraced is Run, additionally returning the simulated timeline
+// (kernel, DMA and barrier spans) for schedule inspection — the data
+// behind the paper's Figures 5 and 6.
+func RunTraced(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, Stats, []sim.Span, error) {
+	env := sim.NewEnv()
+	dev := gpusim.NewDevice(env, cfg)
+	eng, err := NewEngine(dev, a, b, opts)
+	if err != nil {
+		return nil, Stats{}, nil, err
+	}
+	env.Spawn("gpu", func(p *sim.Proc) {
+		eng.ProcessChunks(p, eng.ScheduleOrder())
+	})
+	if err := env.Run(); err != nil {
+		return nil, Stats{}, nil, err
+	}
+	if eng.err != nil {
+		return nil, Stats{}, nil, eng.err
+	}
+	c, err := eng.Assemble()
+	if err != nil {
+		return nil, Stats{}, nil, err
+	}
+	return c, eng.stats(env, c), env.Timeline, nil
+}
+
+// stats collects run statistics from the environment.
+func (e *Engine) stats(env *sim.Env, c *csr.Matrix) Stats {
+	var flops int64
+	for _, r := range e.Results {
+		flops += r.Flops
+	}
+	total := sim.SecondsAt(env.Now())
+	transfer := sim.SecondsOf(e.Dev.TransferBusy())
+	st := Stats{
+		TotalSec:     total,
+		TransferSec:  transfer,
+		ComputeSec:   sim.SecondsOf(e.Dev.ComputeBusy()),
+		Flops:        flops,
+		MemPeakBytes: e.Dev.MemPeak(),
+		Mallocs:      e.Dev.Mallocs(),
+		Chunks:       e.NumChunks(),
+	}
+	if c != nil {
+		st.NnzC = c.Nnz()
+	}
+	if total > 0 {
+		st.TransferFraction = transfer / total
+		st.GFLOPS = float64(flops) / total / 1e9
+	}
+	return st
+}
+
+// StatsFor exposes stats computation for callers (like the hybrid
+// engine) that drive the environment themselves.
+func (e *Engine) StatsFor(env *sim.Env, c *csr.Matrix) Stats { return e.stats(env, c) }
+
+// ProcessChunks executes the given chunks on the device in order,
+// using the synchronous or asynchronous pipeline per Options. It must
+// be called from a simulation process; errors are recorded on the
+// engine (see Err).
+func (e *Engine) ProcessChunks(p *sim.Proc, ids []int) {
+	if len(ids) == 0 {
+		return
+	}
+	if e.Opts.Async {
+		e.processAsync(p, ids)
+		return
+	}
+	e.processSync(p, ids)
+}
+
+// inputBytes reports the device footprint of a chunk's input panels.
+func inputBytes(rp partition.RowPanel, cp partition.ColPanel) (aBytes, bBytes int64) {
+	return rp.M.Bytes(), cp.M.Bytes()
+}

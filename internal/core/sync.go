@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/speck"
+)
+
+// panelKeys identify panels in the input cache.
+func panelKeys(rp partition.RowPanel, cp partition.ColPanel) (aKey, bKey string) {
+	return fmt.Sprintf("A%d", rp.Start), fmt.Sprintf("B%d", cp.Start)
+}
+
+// processSync is the synchronous partitioned-spECK baseline
+// (Section IV-A): every phase of every chunk, including the output
+// transfer, runs back to back on a single stream. With
+// Opts.DynamicAlloc it also performs spECK's per-phase device
+// allocations; otherwise a single arena allocation is made up front.
+// Input panels stay resident between chunks while memory allows.
+func (e *Engine) processSync(p *sim.Proc, ids []int) {
+	dev := e.Dev
+	cache := newInputCache(e, e.Opts.DynamicAlloc)
+
+	var arena, arenaUsed int64
+	if !e.Opts.DynamicAlloc {
+		arena = dev.Cfg.MemoryBytes
+		if _, err := dev.Malloc(p, "arena", arena); err != nil {
+			e.fail(err)
+			return
+		}
+	}
+
+	for _, id := range ids {
+		rp, cp := e.chunkPanels(id)
+		res, err := speck.Compute(rp.M, cp.M, e.cm)
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		e.Results[id] = res
+		if res.Flops == 0 {
+			// The host already knows the chunk is empty from the flop
+			// analysis (Algorithm 4's GetFlops); no device work needed.
+			continue
+		}
+		aBytes, bBytes := inputBytes(rp, cp)
+		aKey, bKey := panelKeys(rp, cp)
+
+		capacityLeft := func() int64 { return arena - arenaUsed }
+		if err := cache.ensure(p, aKey, lbl("A panel", id), aBytes, capacityLeft, aKey, bKey); err != nil {
+			e.fail(err)
+			return
+		}
+		if err := cache.ensure(p, bKey, lbl("B panel", id), bBytes, capacityLeft, aKey, bKey); err != nil {
+			e.fail(err)
+			return
+		}
+
+		if e.Opts.DynamicAlloc {
+			e.syncChunkDynamic(p, id, res)
+		} else {
+			arenaUsed = 0
+			need := res.WorkspaceBytes + res.OutputBytes
+			for arenaUsed+need > arena-cache.bytes {
+				if !cache.evictOne(p, aKey, bKey) {
+					e.fail(fmt.Errorf("core: chunk %d needs %d bytes beyond the arena; increase RowPanels/ColPanels", id, need))
+					return
+				}
+			}
+			arenaUsed += need
+			e.syncChunkPrealloc(p, id, res)
+		}
+		if e.err != nil {
+			return
+		}
+	}
+}
+
+// syncChunkPrealloc runs one chunk's phases serially without device
+// allocations; the input panels are already resident.
+func (e *Engine) syncChunkPrealloc(p *sim.Proc, id int, res *speck.Result) {
+	dev := e.Dev
+	dev.Kernel(p, lbl("analysis", id), res.AnalysisSec)
+	dev.TransferD2H(p, lbl("row info", id), res.RowInfoBytes)
+	e.launchGroupKernels(p, id, res, "symbolic")
+	dev.TransferD2H(p, lbl("nnz info", id), res.NnzInfoBytes)
+	e.launchGroupKernels(p, id, res, "numeric")
+	dev.TransferD2H(p, lbl("output", id), res.OutputBytes)
+}
+
+// syncChunkDynamic runs one chunk with spECK's dynamic allocations:
+// row info, group info and the output arrays are each a separate
+// device Malloc, freed at chunk end. Every Malloc stalls the device,
+// which is harmless here (nothing overlaps anyway) but models why this
+// variant cannot be made asynchronous.
+func (e *Engine) syncChunkDynamic(p *sim.Proc, id int, res *speck.Result) {
+	dev := e.Dev
+	mustAlloc := func(label string, bytes int64) *allocHandle {
+		if e.err != nil {
+			return &allocHandle{}
+		}
+		h, err := dev.Malloc(p, lbl(label, id), bytes)
+		if err != nil {
+			e.fail(err)
+			return &allocHandle{}
+		}
+		return &allocHandle{a: h}
+	}
+
+	rowInfo := mustAlloc("row info", res.RowInfoBytes)
+	if e.err != nil {
+		return
+	}
+	dev.Kernel(p, lbl("analysis", id), res.AnalysisSec)
+	dev.TransferD2H(p, lbl("row info", id), res.RowInfoBytes)
+
+	groupInfo := mustAlloc("group info", int64(len(res.Groups))*64+res.WorkspaceBytes)
+	if e.err != nil {
+		return
+	}
+	e.launchGroupKernels(p, id, res, "symbolic")
+	dev.TransferD2H(p, lbl("nnz info", id), res.NnzInfoBytes)
+
+	out := mustAlloc("output", res.OutputBytes)
+	if e.err != nil {
+		return
+	}
+	e.launchGroupKernels(p, id, res, "numeric")
+	dev.TransferD2H(p, lbl("output", id), res.OutputBytes)
+
+	for _, h := range []*allocHandle{rowInfo, groupInfo, out} {
+		h.free(p, e)
+	}
+}
+
+// allocHandle wraps a device allocation so failed runs can skip frees.
+type allocHandle struct {
+	a *gpusim.Alloc
+}
+
+func (h *allocHandle) free(p *sim.Proc, e *Engine) {
+	if h.a != nil {
+		e.Dev.Free(p, h.a)
+	}
+}
+
+// launchGroupKernels launches one kernel per row group, splitting the
+// phase duration across groups in proportion to their flops (spECK
+// launches a kernel per group; Figure 3's symbolic/numeric boxes).
+func (e *Engine) launchGroupKernels(p *sim.Proc, id int, res *speck.Result, phase string) {
+	total := res.NumericSec
+	if phase == "symbolic" {
+		total = res.SymbolicSec
+	}
+	if res.Flops == 0 || total == 0 {
+		return
+	}
+	for gi, g := range res.Groups {
+		frac := float64(g.Flops) / float64(res.Flops)
+		e.Dev.Kernel(p, fmt.Sprintf("%s c%d g%d(%s)", phase, id, gi, g.Kind), total*frac)
+	}
+}
+
+func lbl(what string, id int) string {
+	return fmt.Sprintf("%s c%d", what, id)
+}

@@ -1,0 +1,256 @@
+// Package cpuspgemm implements multi-core CPU SpGEMM.
+//
+// The paper's CPU baseline (and the CPU half of its hybrid engine) is
+// the hash-map implementation of Nagasaka et al. [27]: a two-phase
+// (symbolic, then numeric) row-parallel Gustavson SpGEMM with
+// per-thread hash accumulators and flops-balanced row distribution.
+// This package provides that implementation, a dense-accumulator
+// variant in the style of Patwary et al. [31], and a simple sequential
+// Gustavson reference used as ground truth by the test suites of every
+// other package.
+package cpuspgemm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/accum"
+	"repro/internal/csr"
+)
+
+// Method selects the accumulation strategy.
+type Method int
+
+const (
+	// Hash uses per-thread hash accumulators (Nagasaka et al. [27]).
+	Hash Method = iota
+	// Dense uses per-thread dense accumulators (Patwary et al. [31]).
+	Dense
+	// ESC uses per-thread expand-sort-compress accumulators (Bell et
+	// al. [7,9]), the classic baseline of the paper's related work.
+	ESC
+)
+
+func (m Method) String() string {
+	switch m {
+	case Hash:
+		return "hash"
+	case Dense:
+		return "dense"
+	case ESC:
+		return "esc"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configures a multiplication.
+type Options struct {
+	// Threads is the number of worker goroutines; 0 means GOMAXPROCS.
+	Threads int
+	// Method selects the accumulator; the default is Hash, matching the
+	// implementation the paper uses from Nagasaka et al.
+	Method Method
+}
+
+func (o Options) threads() int {
+	if o.Threads > 0 {
+		return o.Threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Sequential computes C = A·B with the straightforward sequential
+// Gustavson row-row algorithm (Algorithm 1 of the paper), using a plain
+// map accumulator. It is the correctness reference for every other
+// engine in this repository.
+func Sequential(a, b *csr.Matrix) (*csr.Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("cpuspgemm: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	entries := make([]csr.Entry, 0)
+	row := map[int32]float64{}
+	for i := 0; i < a.Rows; i++ {
+		ac, av := a.Row(i)
+		for p := range ac {
+			k := ac[p]
+			bc, bv := b.Row(int(k))
+			for q := range bc {
+				row[bc[q]] += av[p] * bv[q]
+			}
+		}
+		for c, v := range row {
+			entries = append(entries, csr.Entry{Row: int32(i), Col: c, Val: v})
+			delete(row, c)
+		}
+	}
+	return csr.FromEntries(a.Rows, b.Cols, entries)
+}
+
+// Multiply computes C = A·B with the two-phase multi-core algorithm.
+func Multiply(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("cpuspgemm: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	nt := opts.threads()
+
+	// Row analysis: per-row flops for load balancing (the same quantity
+	// the GPU framework's row-analysis kernel computes).
+	rowFlops := csr.RowFlops(a, b)
+	bounds := BalanceRows(rowFlops, nt)
+
+	c := &csr.Matrix{Rows: a.Rows, Cols: b.Cols, RowOffsets: make([]int64, a.Rows+1)}
+	rowNnz := make([]int64, a.Rows)
+
+	// Symbolic phase: count distinct columns per output row.
+	var wg sync.WaitGroup
+	for w := 0; w < nt; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			acc := newAccumulator(opts.Method, b.Cols, maxUpperBound(a, b, lo, hi))
+			for i := lo; i < hi; i++ {
+				ac, _ := a.Row(i)
+				for _, k := range ac {
+					bc, _ := b.Row(int(k))
+					for _, col := range bc {
+						acc.AddSymbolic(col)
+					}
+				}
+				rowNnz[i] = int64(acc.FlushSymbolic())
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Prefix sum gives the final row offsets; allocation is now exact.
+	for i := 0; i < a.Rows; i++ {
+		c.RowOffsets[i+1] = c.RowOffsets[i] + rowNnz[i]
+	}
+	nnz := c.RowOffsets[a.Rows]
+	c.ColIDs = make([]int32, nnz)
+	c.Data = make([]float64, nnz)
+
+	// Numeric phase: recompute with values, writing into the allocated
+	// arrays at each row's offset.
+	for w := 0; w < nt; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			acc := newAccumulator(opts.Method, b.Cols, maxUpperBound(a, b, lo, hi))
+			for i := lo; i < hi; i++ {
+				ac, av := a.Row(i)
+				for p := range ac {
+					bc, bv := b.Row(int(ac[p]))
+					for q := range bc {
+						acc.Add(bc[q], av[p]*bv[q])
+					}
+				}
+				if int64(acc.Len()) != rowNnz[i] {
+					panic(fmt.Sprintf("cpuspgemm: row %d numeric nnz %d != symbolic %d", i, acc.Len(), rowNnz[i]))
+				}
+				// Flushing into full-capacity sub-slices writes the row
+				// in place at its pre-computed offset.
+				off, end := c.RowOffsets[i], c.RowOffsets[i]+rowNnz[i]
+				acc.Flush(c.ColIDs[off:off:end], c.Data[off:off:end])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return c, nil
+}
+
+func newAccumulator(m Method, width int, bound int64) accum.Accumulator {
+	switch m {
+	case Dense:
+		return accum.NewDense(width)
+	case ESC:
+		if bound < 16 {
+			bound = 16
+		}
+		return accum.NewSort(int(bound))
+	default:
+		if bound < 16 {
+			bound = 16
+		}
+		if bound > int64(width) {
+			bound = int64(width)
+		}
+		return accum.NewHash(int(bound))
+	}
+}
+
+// maxUpperBound returns the largest worst-case output-row size over rows
+// [lo, hi) of A·B, used to size the hash accumulator once per worker.
+func maxUpperBound(a, b *csr.Matrix, lo, hi int) int64 {
+	var mx int64
+	for i := lo; i < hi; i++ {
+		var n int64
+		for p := a.RowOffsets[i]; p < a.RowOffsets[i+1]; p++ {
+			n += b.RowNnz(int(a.ColIDs[p]))
+		}
+		if n > mx {
+			mx = n
+		}
+	}
+	return mx
+}
+
+// BalanceRows partitions rows into parts contiguous ranges with roughly
+// equal total flops. It returns parts+1 boundaries with bounds[0]=0 and
+// bounds[parts]=len(rowFlops).
+func BalanceRows(rowFlops []int64, parts int) []int {
+	n := len(rowFlops)
+	var total int64
+	for _, f := range rowFlops {
+		total += f
+	}
+	bounds := make([]int, parts+1)
+	bounds[parts] = n
+	var acc int64
+	next := 1
+	for i := 0; i < n && next < parts; i++ {
+		acc += rowFlops[i]
+		// Place boundary next when we cross next/parts of the total.
+		for next < parts && acc*int64(parts) >= total*int64(next) {
+			bounds[next] = i + 1
+			next++
+		}
+	}
+	for ; next < parts; next++ {
+		bounds[next] = n
+	}
+	return bounds
+}
+
+// errDims formats the standard dimension-mismatch error.
+func errDims(a, b *csr.Matrix) error {
+	return fmt.Errorf("cpuspgemm: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+}
+
+// parallelRanges runs fn over each non-empty [bounds[w], bounds[w+1])
+// range in its own goroutine and waits for all of them.
+func parallelRanges(bounds []int, fn func(lo, hi int)) {
+	var wg sync.WaitGroup
+	for w := 0; w+1 < len(bounds); w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,72 @@
+package cpuspgemm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/csr"
+	"repro/internal/matgen"
+)
+
+func TestMultiplyMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 8; trial++ {
+		a := randomMatrix(rng, 30+rng.Intn(30), 40, 0.12)
+		b := randomMatrix(rng, 40, 30+rng.Intn(30), 0.12)
+		want, err := Sequential(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, threads := range []int{1, 4} {
+			got, err := MultiplyMerge(a, b, threads)
+			if err != nil {
+				t.Fatalf("threads=%d: %v", threads, err)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("threads=%d: invalid: %v", threads, err)
+			}
+			if !csr.Equal(got, want, 1e-12) {
+				t.Fatalf("trial %d threads %d: %s", trial, threads, csr.Diff(got, want, 1e-12))
+			}
+		}
+	}
+}
+
+func TestMultiplyMergeRMATAndBand(t *testing.T) {
+	for _, a := range []*csr.Matrix{
+		matgen.RMAT(9, 7, 0.57, 0.19, 0.19, 72),
+		matgen.Band(500, 4, 73),
+	} {
+		want, _ := Sequential(a, a)
+		got, err := MultiplyMerge(a, a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !csr.Equal(got, want, 1e-9) {
+			t.Fatalf("%s", csr.Diff(got, want, 1e-9))
+		}
+	}
+}
+
+func TestMultiplyMergeEdgeCases(t *testing.T) {
+	if _, err := MultiplyMerge(csr.New(2, 3), csr.New(4, 4), 1); err == nil {
+		t.Fatal("expected dimension mismatch")
+	}
+	empty, err := MultiplyMerge(csr.New(5, 5), csr.New(5, 5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Nnz() != 0 {
+		t.Fatal("empty product has entries")
+	}
+}
+
+func BenchmarkMultiplyMergeRMAT(b *testing.B) {
+	a := matgen.RMAT(11, 8, 0.57, 0.19, 0.19, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MultiplyMerge(a, a, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

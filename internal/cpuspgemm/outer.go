@@ -1,0 +1,96 @@
+package cpuspgemm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/accum"
+	"repro/internal/csr"
+)
+
+// OuterProduct computes C = A·B with the outer-product (column-row)
+// formulation of the paper's Section II-B taxonomy, used by the
+// partitioning work of Akbudak et al. [1,3]: C = Σ_k A(:,k) ⊗ B(k,:),
+// one rank-1 update per inner index k. The expansion is generated from
+// the CSC view of A (its transpose) and merged with per-row hash
+// accumulators.
+//
+// The formulation's character differs from Gustavson's row-row: all
+// rows of C accumulate simultaneously, so the working set is O(rows)
+// accumulators — the reason the paper's out-of-core framework avoids
+// it (partial results for the whole output would have to live on the
+// device at once). It is provided as a taxonomy-complete baseline and
+// a cross-check for the other engines.
+func OuterProduct(a, b *csr.Matrix, threads int) (*csr.Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("cpuspgemm: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	// CSC view of A: row r of at holds column r of A.
+	at := a.Transpose()
+
+	// Each worker owns a contiguous range of OUTPUT rows and scans all
+	// inner indices, so no two workers touch the same accumulator. (A
+	// transpose-free variant would partition k and merge; partitioning
+	// output rows keeps the merge trivial.)
+	rowAcc := make([]*accum.Hash, a.Rows)
+	rowBounds := make([]int, threads+1)
+	for w := 0; w <= threads; w++ {
+		rowBounds[w] = w * a.Rows / threads
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		lo, hi := rowBounds[w], rowBounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for k := 0; k < at.Rows; k++ {
+				// Column k of A x row k of B.
+				ac, av := at.Row(k)
+				bc, bv := b.Row(k)
+				if len(ac) == 0 || len(bc) == 0 {
+					continue
+				}
+				for p := range ac {
+					i := int(ac[p])
+					if i < lo || i >= hi {
+						continue
+					}
+					acc := rowAcc[i]
+					if acc == nil {
+						acc = accum.NewHash(len(bc) * 2)
+						rowAcc[i] = acc
+					}
+					for q := range bc {
+						acc.Add(bc[q], av[p]*bv[q])
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Assemble C from the per-row accumulators.
+	c := &csr.Matrix{Rows: a.Rows, Cols: b.Cols, RowOffsets: make([]int64, a.Rows+1)}
+	for i := 0; i < a.Rows; i++ {
+		n := 0
+		if rowAcc[i] != nil {
+			n = rowAcc[i].Len()
+		}
+		c.RowOffsets[i+1] = c.RowOffsets[i] + int64(n)
+	}
+	nnz := c.RowOffsets[a.Rows]
+	c.ColIDs = make([]int32, 0, nnz)
+	c.Data = make([]float64, 0, nnz)
+	for i := 0; i < a.Rows; i++ {
+		if rowAcc[i] != nil {
+			c.ColIDs, c.Data = rowAcc[i].Flush(c.ColIDs, c.Data)
+		}
+	}
+	return c, nil
+}

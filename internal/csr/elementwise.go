@@ -1,0 +1,102 @@
+package csr
+
+import "errors"
+
+// Hadamard returns the element-wise product A ∘ B (entries present in
+// both matrices, values multiplied). Graph algorithms use it for
+// masked SpGEMM: A ∘ (A·A) counts the triangles through each edge.
+func Hadamard(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, errors.New("csr: Hadamard dimension mismatch")
+	}
+	out := &Matrix{Rows: a.Rows, Cols: a.Cols, RowOffsets: make([]int64, a.Rows+1)}
+	// Pass 1: intersection sizes.
+	for r := 0; r < a.Rows; r++ {
+		out.RowOffsets[r+1] = out.RowOffsets[r] + intersectRowLen(a, b, r)
+	}
+	nnz := out.RowOffsets[a.Rows]
+	out.ColIDs = make([]int32, nnz)
+	out.Data = make([]float64, nnz)
+	// Pass 2: merge-intersect each row.
+	for r := 0; r < a.Rows; r++ {
+		ac, av := a.Row(r)
+		bc, bv := b.Row(r)
+		w := out.RowOffsets[r]
+		i, j := 0, 0
+		for i < len(ac) && j < len(bc) {
+			switch {
+			case ac[i] < bc[j]:
+				i++
+			case bc[j] < ac[i]:
+				j++
+			default:
+				out.ColIDs[w] = ac[i]
+				out.Data[w] = av[i] * bv[j]
+				w++
+				i++
+				j++
+			}
+		}
+	}
+	return out, nil
+}
+
+func intersectRowLen(a, b *Matrix, r int) int64 {
+	ac, _ := a.Row(r)
+	bc, _ := b.Row(r)
+	var n int64
+	i, j := 0, 0
+	for i < len(ac) && j < len(bc) {
+		switch {
+		case ac[i] < bc[j]:
+			i++
+		case bc[j] < ac[i]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Sum returns the sum of all stored values.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Prune returns a copy with entries of absolute value <= tol removed.
+func (m *Matrix) Prune(tol float64) *Matrix {
+	out := &Matrix{Rows: m.Rows, Cols: m.Cols, RowOffsets: make([]int64, m.Rows+1)}
+	keep := func(v float64) bool { return v > tol || v < -tol }
+	for r := 0; r < m.Rows; r++ {
+		_, vals := m.Row(r)
+		var n int64
+		for _, v := range vals {
+			if keep(v) {
+				n++
+			}
+		}
+		out.RowOffsets[r+1] = out.RowOffsets[r] + n
+	}
+	nnz := out.RowOffsets[m.Rows]
+	out.ColIDs = make([]int32, nnz)
+	out.Data = make([]float64, nnz)
+	w := int64(0)
+	for r := 0; r < m.Rows; r++ {
+		cols, vals := m.Row(r)
+		for i := range cols {
+			if keep(vals[i]) {
+				out.ColIDs[w] = cols[i]
+				out.Data[w] = vals[i]
+				w++
+			}
+		}
+	}
+	return out
+}

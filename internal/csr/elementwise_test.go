@@ -1,0 +1,92 @@
+package csr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHadamardBasic(t *testing.T) {
+	a, _ := FromEntries(2, 3, []Entry{{0, 0, 2}, {0, 2, 3}, {1, 1, 4}})
+	b, _ := FromEntries(2, 3, []Entry{{0, 0, 5}, {0, 1, 7}, {1, 1, -1}})
+	h, err := Hadamard(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromEntries(2, 3, []Entry{{0, 0, 10}, {1, 1, -4}})
+	if !Equal(h, want, 0) {
+		t.Fatalf("Hadamard = %s", Diff(h, want, 0))
+	}
+}
+
+func TestHadamardCommutesAndMasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		a := randomMatrix(rng, 20, 20, 0.25)
+		b := randomMatrix(rng, 20, 20, 0.25)
+		ab, err := Hadamard(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := Hadamard(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(ab, ba, 1e-12) {
+			t.Fatal("Hadamard not commutative")
+		}
+		// The support is the intersection.
+		for r := 0; r < ab.Rows; r++ {
+			cols, _ := ab.Row(r)
+			for _, c := range cols {
+				if !hasEntry(a, r, c) || !hasEntry(b, r, c) {
+					t.Fatalf("(%d,%d) not in both inputs", r, c)
+				}
+			}
+		}
+	}
+}
+
+func hasEntry(m *Matrix, r int, c int32) bool {
+	cols, _ := m.Row(r)
+	for _, cc := range cols {
+		if cc == c {
+			return true
+		}
+	}
+	return false
+}
+
+func TestHadamardErrors(t *testing.T) {
+	if _, err := Hadamard(New(2, 2), New(3, 2)); err == nil {
+		t.Fatal("expected dimension mismatch")
+	}
+}
+
+func TestSum(t *testing.T) {
+	m, _ := FromEntries(2, 2, []Entry{{0, 0, 1.5}, {1, 1, -0.5}})
+	if s := m.Sum(); s != 1.0 {
+		t.Fatalf("Sum = %v", s)
+	}
+	if s := New(3, 3).Sum(); s != 0 {
+		t.Fatalf("empty Sum = %v", s)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	m, _ := FromEntries(2, 3, []Entry{{0, 0, 0.001}, {0, 1, 5}, {1, 2, -0.002}, {1, 0, -3}})
+	p := m.Prune(0.01)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromEntries(2, 3, []Entry{{0, 1, 5}, {1, 0, -3}})
+	if !Equal(p, want, 0) {
+		t.Fatalf("Prune = %s", Diff(p, want, 0))
+	}
+	// Prune with zero tolerance keeps everything nonzero.
+	if q := m.Prune(0); q.Nnz() != 4 {
+		t.Fatalf("Prune(0) dropped entries: %d", q.Nnz())
+	}
+}

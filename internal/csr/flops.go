@@ -1,0 +1,71 @@
+package csr
+
+// Flops reports the number of floating-point operations required to
+// compute A·B with Gustavson's algorithm, counting a multiply-add as two
+// flops as the paper does (Table II: "a multiply-add counts as 2 flops").
+// It is the sum over all non-zeros A[i][k] of 2*nnz(B[k][*]).
+func Flops(a, b *Matrix) int64 {
+	bRowNnz := make([]int64, b.Rows)
+	for r := 0; r < b.Rows; r++ {
+		bRowNnz[r] = b.RowNnz(r)
+	}
+	var total int64
+	for _, k := range a.ColIDs {
+		total += 2 * bRowNnz[k]
+	}
+	return total
+}
+
+// RowFlops returns, for every row i of A, the number of flops needed to
+// compute row i of A·B. This is the "row analysis" quantity of the
+// framework's first GPU stage (Figure 3), used for load balancing and
+// for the hybrid work distribution.
+func RowFlops(a, b *Matrix) []int64 {
+	bRowNnz := make([]int64, b.Rows)
+	for r := 0; r < b.Rows; r++ {
+		bRowNnz[r] = b.RowNnz(r)
+	}
+	out := make([]int64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		var f int64
+		for p := a.RowOffsets[i]; p < a.RowOffsets[i+1]; p++ {
+			f += 2 * bRowNnz[a.ColIDs[p]]
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// RowUpperBounds returns, for every row of A, the worst-case number of
+// non-zeros in the corresponding row of A·B: the sum of nnz(B[k][*])
+// over the non-zeros A[i][k]. The paper (Section IV-B) discusses — and
+// rejects — sizing device allocations from these bounds because the gap
+// between the bound and the observed nnz can be very large; we keep them
+// for hash-table sizing and for the upper-bound ablation.
+func RowUpperBounds(a, b *Matrix) []int64 {
+	bRowNnz := make([]int64, b.Rows)
+	for r := 0; r < b.Rows; r++ {
+		bRowNnz[r] = b.RowNnz(r)
+	}
+	out := make([]int64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		var n int64
+		for p := a.RowOffsets[i]; p < a.RowOffsets[i+1]; p++ {
+			n += bRowNnz[a.ColIDs[p]]
+		}
+		out[i] = n
+	}
+	return out
+}
+
+// CompressionRatio reports flop(A·B) / nnz(A·B) given the product
+// matrix c. The paper uses this ratio (Table II) as the key predictor of
+// out-of-core performance: it compares the amount of computation with
+// the amount of output data that must cross the PCIe bus.
+func CompressionRatio(a, b, c *Matrix) float64 {
+	n := c.Nnz()
+	if n == 0 {
+		return 0
+	}
+	return float64(Flops(a, b)) / float64(n)
+}

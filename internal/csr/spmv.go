@@ -1,0 +1,46 @@
+package csr
+
+import "fmt"
+
+// MulVec computes y = A·x. The slices must have lengths Cols and Rows
+// respectively.
+func (m *Matrix) MulVec(x, y []float64) error {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		return fmt.Errorf("csr: MulVec dims: len(x)=%d want %d, len(y)=%d want %d", len(x), m.Cols, len(y), m.Rows)
+	}
+	for r := 0; r < m.Rows; r++ {
+		var sum float64
+		for p := m.RowOffsets[r]; p < m.RowOffsets[r+1]; p++ {
+			sum += m.Data[p] * x[m.ColIDs[p]]
+		}
+		y[r] = sum
+	}
+	return nil
+}
+
+// Diagonal returns the main-diagonal values (zero where absent).
+func (m *Matrix) Diagonal() []float64 {
+	d := make([]float64, m.Rows)
+	for r := 0; r < m.Rows && r < m.Cols; r++ {
+		cols, vals := m.Row(r)
+		for i, c := range cols {
+			if int(c) == r {
+				d[r] = vals[i]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// RowSums returns the sum of each row's values.
+func (m *Matrix) RowSums() []float64 {
+	s := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		_, vals := m.Row(r)
+		for _, v := range vals {
+			s[r] += v
+		}
+	}
+	return s
+}

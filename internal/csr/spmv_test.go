@@ -1,0 +1,78 @@
+package csr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		m := randomMatrix(rng, 1+rng.Intn(20), 1+rng.Intn(20), 0.3)
+		x := make([]float64, m.Cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := make([]float64, m.Rows)
+		if err := m.MulVec(x, y); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < m.Rows; r++ {
+			var want float64
+			cols, vals := m.Row(r)
+			for i := range cols {
+				want += vals[i] * x[cols[i]]
+			}
+			if d := y[r] - want; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("y[%d] = %v, want %v", r, y[r], want)
+			}
+		}
+	}
+}
+
+func TestMulVecIdentityAndErrors(t *testing.T) {
+	var es []Entry
+	for i := 0; i < 5; i++ {
+		es = append(es, Entry{int32(i), int32(i), 1})
+	}
+	id, _ := FromEntries(5, 5, es)
+	x := []float64{1, 2, 3, 4, 5}
+	y := make([]float64, 5)
+	if err := id.MulVec(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("I·x != x at %d", i)
+		}
+	}
+	if err := id.MulVec(x[:3], y); err == nil {
+		t.Fatal("expected length error for short x")
+	}
+	if err := id.MulVec(x, y[:2]); err == nil {
+		t.Fatal("expected length error for short y")
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	m, _ := FromEntries(3, 3, []Entry{
+		{0, 0, 5}, {0, 1, 1}, {1, 2, 2}, {2, 2, -3},
+	})
+	d := m.Diagonal()
+	if d[0] != 5 || d[1] != 0 || d[2] != -3 {
+		t.Fatalf("Diagonal = %v", d)
+	}
+	// Rectangular matrix: diagonal truncated to min(rows, cols).
+	r, _ := FromEntries(2, 4, []Entry{{1, 1, 7}})
+	if dd := r.Diagonal(); len(dd) != 2 || dd[1] != 7 {
+		t.Fatalf("rect Diagonal = %v", dd)
+	}
+}
+
+func TestRowSums(t *testing.T) {
+	m, _ := FromEntries(2, 3, []Entry{{0, 0, 1}, {0, 2, 2}, {1, 1, -4}})
+	s := m.RowSums()
+	if s[0] != 3 || s[1] != -4 {
+		t.Fatalf("RowSums = %v", s)
+	}
+}

@@ -1,0 +1,219 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/csr"
+)
+
+func TestSuitePrepared(t *testing.T) {
+	runs, err := Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 9 {
+		t.Fatalf("suite has %d runs", len(runs))
+	}
+	for _, r := range runs {
+		if err := r.A.Validate(); err != nil {
+			t.Fatalf("%s: invalid A: %v", r.Entry.Abbr, err)
+		}
+		if r.Flops != csr.Flops(r.A, r.A) {
+			t.Fatalf("%s: flops mismatch", r.Entry.Abbr)
+		}
+		// Out-of-core premise (the paper's matrix-selection criterion):
+		// an in-core run, which needs inputs plus the full output on
+		// the device, must not fit device memory.
+		inCore := 2*r.A.Bytes() + r.C.Bytes()
+		if inCore <= r.DevMem {
+			t.Fatalf("%s: in-core footprint (%d B) fits device memory (%d B) — not out-of-core",
+				r.Entry.Abbr, inCore, r.DevMem)
+		}
+		if r.GridR < 2 || r.GridC < 2 {
+			t.Fatalf("%s: degenerate grid %dx%d", r.Entry.Abbr, r.GridR, r.GridC)
+		}
+		if r.CR() < 2 {
+			t.Fatalf("%s: compression ratio %.2f below the collision-free floor", r.Entry.Abbr, r.CR())
+		}
+	}
+}
+
+func TestSuiteCompressionRatioOrdering(t *testing.T) {
+	// The suite must preserve the paper's compression-ratio ordering:
+	// the LiveJournal class lowest, then wikis, then stokes, uk-2002
+	// and nlpkkt200.
+	cr := map[string]float64{}
+	for _, r := range MustSuite() {
+		cr[r.Entry.Abbr] = r.CR()
+	}
+	order := [][2]string{
+		{"soc-lj", "wiki0925"},
+		{"lj2008", "wiki1104"},
+		{"wiki0206", "stokes"},
+		{"stokes", "uk-2002"},
+		{"uk-2002", "nlp"},
+	}
+	for _, pair := range order {
+		if cr[pair[0]] >= cr[pair[1]] {
+			t.Errorf("CR(%s)=%.2f not below CR(%s)=%.2f", pair[0], cr[pair[0]], pair[1], cr[pair[1]])
+		}
+	}
+}
+
+func TestSuiteRunLookup(t *testing.T) {
+	if _, err := SuiteRun("nlp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SuiteRun("bogus"); err == nil {
+		t.Fatal("expected error for unknown matrix")
+	}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"xxx", "y"}},
+		Notes:  []string{"n"},
+	}
+	var buf bytes.Buffer
+	if err := tab.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== T ==", "xxx", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1And2(t *testing.T) {
+	t1 := Table1()
+	if len(t1.Rows) < 9 {
+		t.Fatalf("Table1 has %d rows", len(t1.Rows))
+	}
+	t2 := Table2(MustSuite())
+	if len(t2.Rows) != 9 {
+		t.Fatalf("Table2 has %d rows", len(t2.Rows))
+	}
+}
+
+func TestFig4Band(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	tab, err := Fig4(MustSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		var frac float64
+		if _, err := fscan(row[1], &frac); err != nil {
+			t.Fatal(err)
+		}
+		// The paper's band is 77.55-89.65; allow a small margin for the
+		// synthetic analogs.
+		if frac < 70 || frac > 95 {
+			t.Errorf("%s: transfer fraction %.2f%% outside plausible band", row[0], frac)
+		}
+	}
+}
+
+func TestFig7Bands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	rows, err := Fig7Data(MustSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.GPUOverCPU < 1.2 || r.GPUOverCPU > 3.5 {
+			t.Errorf("%s: GPU/CPU %.2f outside plausible band", r.Abbr, r.GPUOverCPU)
+		}
+		if r.HybridOverGPU < 0.9 || r.HybridOverGPU > 2.0 {
+			t.Errorf("%s: hybrid/GPU %.2f outside plausible band", r.Abbr, r.HybridOverGPU)
+		}
+		if r.HybridOverCPU < r.GPUOverCPU*0.9 {
+			t.Errorf("%s: hybrid/CPU %.2f below GPU/CPU %.2f", r.Abbr, r.HybridOverCPU, r.GPUOverCPU)
+		}
+	}
+}
+
+func TestFig8AlwaysGains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	tab, err := Fig8(MustSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		var gain float64
+		if _, err := fscan(row[3], &gain); err != nil {
+			t.Fatal(err)
+		}
+		if gain <= 0 {
+			t.Errorf("%s: async gain %.1f%% not positive", row[0], gain)
+		}
+		if gain > 40 {
+			t.Errorf("%s: async gain %.1f%% implausibly high", row[0], gain)
+		}
+	}
+}
+
+func TestFig10CurveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	runs := MustSuite()
+	tab, err := Fig10(runs, "com-lj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Rows[0]
+	vals := make([]float64, len(Fig10Ratios))
+	for i := range vals {
+		if _, err := fscan(row[i+1], &vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rises then falls: the maximum is interior and the endpoints are
+	// below it (paper Figure 10's shape).
+	maxI, maxV := 0, vals[0]
+	for i, v := range vals {
+		if v > maxV {
+			maxI, maxV = i, v
+		}
+	}
+	if maxI == 0 || maxI == len(vals)-1 {
+		t.Fatalf("GFLOPS curve %v has no interior peak", vals)
+	}
+	if vals[0] >= maxV || vals[len(vals)-1] >= maxV {
+		t.Fatalf("GFLOPS curve %v does not drop from the peak", vals)
+	}
+}
+
+// fscan parses a single float from a table cell.
+func fscan(s string, out *float64) (int, error) {
+	return fmt.Sscanf(s, "%f", out)
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"x,y", `q"z`}, {"1", "2"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"q\"\"z\"\n1,2\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}

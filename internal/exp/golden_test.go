@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGoldenHeadlines pins the headline reproduction numbers recorded
+// in EXPERIMENTS.md within a ±5% band. The simulation is
+// deterministic, so drift here means the cost model, the suite
+// generators or the pipeline changed behaviour — if the change is
+// intentional, update EXPERIMENTS.md and these values together.
+func TestGoldenHeadlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	within := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 0.05*want {
+			t.Errorf("%s = %.4f drifted from the recorded %.4f (EXPERIMENTS.md)", name, got, want)
+		}
+	}
+
+	rows, err := Fig7Data(MustSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]struct{ cpu, gpu, hybrid float64 }{
+		"lj2008":  {0.495, 0.931, 1.570},
+		"com-lj":  {0.482, 0.918, 1.464},
+		"soc-lj":  {0.453, 0.821, 1.279},
+		"stokes":  {1.191, 2.072, 2.989},
+		"uk-2002": {1.308, 3.386, 4.356},
+		"nlp":     {1.354, 4.309, 5.404},
+	}
+	for _, r := range rows {
+		w, ok := want[r.Abbr]
+		if !ok {
+			continue
+		}
+		within(r.Abbr+" cpu GFLOPS", r.CPUGF, w.cpu)
+		within(r.Abbr+" gpu GFLOPS", r.GPUGF, w.gpu)
+		within(r.Abbr+" hybrid GFLOPS", r.HybridGF, w.hybrid)
+	}
+
+	t3, err := Table3Data(MustSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	equal := 0
+	for _, r := range t3 {
+		if r.BestChunks == r.FixedChunks {
+			equal++
+		}
+	}
+	if equal < 7 {
+		t.Errorf("fixed ratio matches best in only %d of 9 cases (recorded: 8)", equal)
+	}
+}

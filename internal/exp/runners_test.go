@@ -1,0 +1,335 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// subset returns a one-matrix slice so runner tests stay fast.
+func subset(t *testing.T, abbr string) []*Run {
+	t.Helper()
+	r, err := SuiteRun(abbr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*Run{r}
+}
+
+func TestFig9RunnerShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	tab, err := Fig9(subset(t, "lj2008"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Rows[0]) != 4 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+}
+
+func TestFig10Runner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	tab, err := Fig10(MustSuite(), "nlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Rows[0]) != len(Fig10Ratios)+1 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	if _, err := Fig10(MustSuite(), "bogus"); err == nil {
+		t.Fatal("expected error for unknown matrix")
+	}
+}
+
+func TestTable3Runner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	rows, err := Table3Data(subset(t, "stokes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.BestChunks < 1 || r.FixedChunks < 1 {
+		t.Fatalf("chunk counts %+v", r)
+	}
+	if r.LossPct < 0 {
+		t.Fatalf("negative loss %.2f: the exhaustive best must not lose to the fixed ratio", r.LossPct)
+	}
+	tab, err := Table3(subset(t, "stokes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("table rows = %d", len(tab.Rows))
+	}
+}
+
+func TestScalingRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	tab, err := FigScaling(MustSuite(), "com-lj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Rows[0]
+	// GFLOPS must be non-decreasing in the GPU count.
+	var prev float64
+	for i := 1; i <= len(ScalingGPUCounts); i++ {
+		var v float64
+		if _, err := fscan(row[i], &v); err != nil {
+			t.Fatal(err)
+		}
+		if v+1e-9 < prev {
+			t.Fatalf("scaling regressed: %v", row)
+		}
+		prev = v
+	}
+}
+
+func TestDistributedRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	tab, err := FigDistributed(MustSuite(), "com-lj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || !strings.HasSuffix(tab.Rows[0][len(tab.Rows[0])-1], "%") {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+}
+
+func TestGridSweepRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	tab, err := GridSweep(MustSuite(), "soc-lj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(GridSweepGrids) {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// At least one grid must be feasible for both modes.
+	feasible := false
+	for _, row := range tab.Rows {
+		if row[2] != "oom" && row[3] != "oom" {
+			feasible = true
+		}
+	}
+	if !feasible {
+		t.Fatal("no grid feasible")
+	}
+	if _, err := GridSweep(MustSuite(), "bogus"); err == nil {
+		t.Fatal("expected error for unknown matrix")
+	}
+}
+
+func TestAblationRunners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	runs := subset(t, "wiki0925")
+
+	ub := AblationUpperBound(runs)
+	if len(ub.Rows) != 1 {
+		t.Fatalf("ub rows = %d", len(ub.Rows))
+	}
+	if w := UpperBoundWaste(runs[0]); w < 1 {
+		t.Fatalf("upper bound waste %.2f < 1 (bound below actual?)", w)
+	}
+
+	um, err := AblationUnifiedMemory(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var speedup float64
+	if _, err := fscan(um.Rows[0][3], &speedup); err != nil {
+		t.Fatal(err)
+	}
+	if speedup <= 1 {
+		t.Fatalf("out-of-core not faster than unified memory: %.2f", speedup)
+	}
+
+	split, err := AblationSplitFraction(MustSuite(), "wiki0925")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split.Rows) != 1 || len(split.Rows[0]) != len(SplitFractions)+1 {
+		t.Fatalf("split rows = %v", split.Rows)
+	}
+
+	secs, err := BufferSweep(runs[0], []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 2 || secs[0] <= 0 {
+		t.Fatalf("buffer sweep = %v", secs)
+	}
+}
+
+func TestFig7Fig8RunnersTableForm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	runs := subset(t, "soc-lj")
+	f7, err := Fig7(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f7.Rows) != 1 || len(f7.Rows[0]) != 7 {
+		t.Fatalf("fig7 rows = %v", f7.Rows)
+	}
+	f8, err := Fig8(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f8.Rows) != 1 {
+		t.Fatalf("fig8 rows = %v", f8.Rows)
+	}
+	f4, err := Fig4(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f4.Rows) != 1 {
+		t.Fatalf("fig4 rows = %v", f4.Rows)
+	}
+}
+
+func TestFormulationRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	tab, err := AblationFormulation(subset(t, "stokes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Rows[0]
+	// At comfortable memory both formulations run; at the small device
+	// row-column must survive while row-row (B resident) OOMs — the
+	// Section III-A design argument.
+	if row[1] == "oom" || row[2] == "oom" {
+		t.Fatalf("comfortable-memory runs failed: %v", row)
+	}
+	if row[3] == "oom" {
+		t.Fatalf("row-column failed at the small device: %v", row)
+	}
+	if row[4] != "oom" {
+		t.Fatalf("row-row unexpectedly survived the small device: %v", row)
+	}
+}
+
+func TestLocalityRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	tab, err := AblationLocality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	var natural, shuffled, recovered float64
+	if _, err := fscan(tab.Rows[0][3], &natural); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fscan(tab.Rows[1][3], &shuffled); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fscan(tab.Rows[2][3], &recovered); err != nil {
+		t.Fatal(err)
+	}
+	if shuffled <= natural {
+		t.Fatalf("scrambling did not hurt: %.3f vs %.3f", shuffled, natural)
+	}
+	if recovered > natural*1.05 {
+		t.Fatalf("RCM did not recover locality: %.3f vs natural %.3f", recovered, natural)
+	}
+}
+
+func TestSensitivityRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	tab, err := SensitivityBandwidth(MustSuite(), "com-lj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(Interconnects) {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	// Transfer share must fall monotonically with link speed; the
+	// GPU/CPU speedup must rise.
+	var prevShare, prevSpeedup float64 = 101, 0
+	for _, row := range tab.Rows {
+		var share, speedup float64
+		if _, err := fscan(row[1], &share); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fscan(row[3], &speedup); err != nil {
+			t.Fatal(err)
+		}
+		if share >= prevShare {
+			t.Fatalf("transfer share not decreasing: %v", tab.Rows)
+		}
+		if speedup <= prevSpeedup {
+			t.Fatalf("GPU/CPU not increasing: %v", tab.Rows)
+		}
+		prevShare, prevSpeedup = share, speedup
+	}
+}
+
+func TestPhaseBreakdownRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	tab, err := PhaseBreakdown(MustSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		var analysis, symbolic, numeric, d2h, makespan float64
+		for i, out := range []*float64{&analysis, &symbolic, &numeric, nil, &d2h, &makespan} {
+			if out == nil {
+				continue
+			}
+			if _, err := fscan(row[i+1], out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The paper's phase ordering: row analysis is "very small",
+		// symbolic cheaper than numeric, transfers dominate everything.
+		if !(analysis < symbolic && symbolic < numeric && numeric < d2h) {
+			t.Fatalf("%s: phase ordering violated: %v", row[0], row)
+		}
+		// Fully pipelined: the D2H engine is busy for almost the whole
+		// makespan.
+		if d2h < makespan*0.85 {
+			t.Fatalf("%s: d2h %.3f << makespan %.3f — pipeline not saturated", row[0], d2h, makespan)
+		}
+	}
+}
+
+func TestHarnessDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite experiment in -short mode")
+	}
+	r := subset(t, "wiki1104")
+	a, err := Fig7Data(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig7Data(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatalf("harness nondeterministic:\n%+v\n%+v", a[0], b[0])
+	}
+}

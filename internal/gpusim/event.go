@@ -1,0 +1,67 @@
+package gpusim
+
+import "repro/internal/sim"
+
+// Event is a CUDA-style timing/synchronization event. Record enqueues
+// the event on a stream: it "occurs" when every operation enqueued on
+// that stream before it has completed. Elapsed between two occurred
+// events gives device-side timing, the way CUDA code brackets kernels
+// with cudaEventRecord/cudaEventElapsedTime.
+type Event struct {
+	name string
+	done *sim.Signal
+	at   sim.Time
+}
+
+// NewEvent creates an unrecorded event.
+func (d *Device) NewEvent(name string) *Event {
+	return &Event{name: name, done: &sim.Signal{}}
+}
+
+// Name returns the event name.
+func (e *Event) Name() string { return e.name }
+
+// Occurred reports whether the event has completed.
+func (e *Event) Occurred() bool { return e.done.Fired() }
+
+// Time returns the virtual time the event occurred (zero if not yet).
+func (e *Event) Time() sim.Time { return e.at }
+
+// Record enqueues the event on the stream. Like cudaEventRecord, it
+// returns immediately; the event occurs when the stream drains past it.
+func (e *Event) Record(s *Stream) {
+	sig := s.Enqueue("event "+e.name, func(p *sim.Proc) {
+		e.at = p.Env().Now()
+	})
+	// Chain the stream op's completion into the event's signal via a
+	// watcher process (signals are one-shot; the event may be awaited
+	// before or after it occurs).
+	s.dev.Env.Spawn("event:"+e.name, func(p *sim.Proc) {
+		p.Await(sig)
+		e.done.Fire(p)
+	})
+}
+
+// Synchronize blocks the calling process until the event occurs
+// (cudaEventSynchronize).
+func (e *Event) Synchronize(p *sim.Proc) {
+	p.Await(e.done)
+}
+
+// Elapsed returns the virtual duration between two occurred events
+// (cudaEventElapsedTime). It panics if either has not occurred.
+func Elapsed(start, end *Event) sim.Duration {
+	if !start.Occurred() || !end.Occurred() {
+		panic("gpusim: Elapsed on unrecorded event")
+	}
+	return sim.Duration(end.at - start.at)
+}
+
+// StreamWaitEvent makes subsequent operations on the stream wait for
+// the event (cudaStreamWaitEvent): cross-stream dependencies without
+// host involvement.
+func (d *Device) StreamWaitEvent(s *Stream, e *Event) {
+	s.Enqueue("wait "+e.name, func(p *sim.Proc) {
+		p.Await(e.done)
+	})
+}

@@ -1,0 +1,96 @@
+package gpusim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestEventRecordAndElapsed(t *testing.T) {
+	env := sim.NewEnv()
+	dev := NewDevice(env, testConfig())
+	s := dev.NewStream("s")
+	start := dev.NewEvent("start")
+	end := dev.NewEvent("end")
+	env.Spawn("host", func(p *sim.Proc) {
+		start.Record(s)
+		s.Enqueue("k", func(q *sim.Proc) { dev.Kernel(q, "k", 3) })
+		end.Record(s)
+		end.Synchronize(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !start.Occurred() || !end.Occurred() {
+		t.Fatal("events did not occur")
+	}
+	if got := Elapsed(start, end); got != sim.Seconds(3) {
+		t.Fatalf("Elapsed = %v, want 3s", got)
+	}
+	if start.Name() != "start" {
+		t.Fatal("Name wrong")
+	}
+}
+
+func TestEventSynchronizeBlocksUntilStreamDrains(t *testing.T) {
+	env := sim.NewEnv()
+	dev := NewDevice(env, testConfig())
+	s := dev.NewStream("s")
+	ev := dev.NewEvent("after-kernel")
+	var syncAt sim.Time
+	env.Spawn("host", func(p *sim.Proc) {
+		s.Enqueue("k", func(q *sim.Proc) { dev.Kernel(q, "k", 5) })
+		ev.Record(s)
+		ev.Synchronize(p)
+		syncAt = env.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if syncAt != sim.Time(sim.Seconds(5)) {
+		t.Fatalf("Synchronize returned at %v, want 5s", syncAt)
+	}
+	if ev.Time() != sim.Time(sim.Seconds(5)) {
+		t.Fatalf("event occurred at %v", ev.Time())
+	}
+}
+
+func TestStreamWaitEventCrossStream(t *testing.T) {
+	env := sim.NewEnv()
+	dev := NewDevice(env, testConfig())
+	s1 := dev.NewStream("s1")
+	s2 := dev.NewStream("s2")
+	ev := dev.NewEvent("s1-done")
+	var xferEnd sim.Time
+	env.Spawn("host", func(p *sim.Proc) {
+		s1.Enqueue("k", func(q *sim.Proc) { dev.Kernel(q, "k", 4) })
+		ev.Record(s1)
+		// s2's transfer must not start before s1's kernel finished,
+		// even though both engines are free.
+		dev.StreamWaitEvent(s2, ev)
+		done := s2.Enqueue("xfer", func(q *sim.Proc) {
+			dev.TransferD2H(q, "c", 1e9) // 1s at 1 GB/s
+			xferEnd = env.Now()
+		})
+		p.Await(done)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if xferEnd != sim.Time(sim.Seconds(5)) {
+		t.Fatalf("transfer ended at %v, want 5s (4s kernel + 1s transfer)", xferEnd)
+	}
+}
+
+func TestElapsedPanicsOnUnrecorded(t *testing.T) {
+	env := sim.NewEnv()
+	dev := NewDevice(env, testConfig())
+	e1 := dev.NewEvent("a")
+	e2 := dev.NewEvent("b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Elapsed(e1, e2)
+}

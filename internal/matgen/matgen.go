@@ -1,0 +1,192 @@
+// Package matgen generates deterministic synthetic sparse matrices.
+//
+// The paper evaluates on nine large SuiteSparse matrices (Table II).
+// Those inputs are proprietary-scale downloads we cannot ship, so this
+// package provides generators whose products exhibit the same structure
+// classes:
+//
+//   - RMAT power-law graphs stand in for the social-network and web
+//     matrices (LiveJournal, wikipedia, uk-2002): skewed degree
+//     distributions and low compression ratios (flop/nnz of A² under 3).
+//   - Banded and stencil matrices stand in for the regular PDE/
+//     optimization matrices (stokes, nlpkkt200): uniform rows and high
+//     compression ratios (4.5-10).
+//
+// All generators are deterministic functions of their seed.
+package matgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/csr"
+)
+
+// RMAT generates a scale-free directed graph adjacency matrix with
+// 2^scale vertices and approximately edgeFactor*2^scale edges using the
+// recursive R-MAT procedure with partition probabilities (a, b, c, d),
+// d = 1-a-b-c. Duplicate edges are merged (values summed then reset to
+// 1); self loops are kept. Typical social-network parameters are
+// a=0.57, b=0.19, c=0.19.
+func RMAT(scale uint, edgeFactor int, a, b, c float64, seed int64) *csr.Matrix {
+	n := 1 << scale
+	m := edgeFactor * n
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]csr.Entry, 0, m)
+	for e := 0; e < m; e++ {
+		r, cc := 0, 0
+		for bit := n >> 1; bit >= 1; bit >>= 1 {
+			u := rng.Float64()
+			switch {
+			case u < a:
+				// top-left quadrant
+			case u < a+b:
+				cc |= bit
+			case u < a+b+c:
+				r |= bit
+			default:
+				r |= bit
+				cc |= bit
+			}
+		}
+		entries = append(entries, csr.Entry{Row: int32(r), Col: int32(cc), Val: 1})
+	}
+	mat, err := csr.FromEntries(n, n, entries)
+	if err != nil {
+		panic(fmt.Sprintf("matgen: RMAT: %v", err))
+	}
+	// Merged duplicates hold counts; normalize all values to 1 so the
+	// adjacency is a 0/1 matrix as in graph SpGEMM workloads.
+	for i := range mat.Data {
+		mat.Data[i] = 1
+	}
+	return mat
+}
+
+// ER generates an Erdős–Rényi random matrix with the given dimensions
+// where each entry is present independently with probability p, values
+// uniform in (-1, 1).
+func ER(rows, cols int, p float64, seed int64) *csr.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	var entries []csr.Entry
+	// Use geometric skipping so generation is O(nnz), not O(rows*cols).
+	if p <= 0 {
+		m, _ := csr.FromEntries(rows, cols, nil)
+		return m
+	}
+	total := int64(rows) * int64(cols)
+	for idx := nextHit(rng, -1, p); idx < total; idx = nextHit(rng, idx, p) {
+		entries = append(entries, csr.Entry{
+			Row: int32(idx / int64(cols)),
+			Col: int32(idx % int64(cols)),
+			Val: rng.Float64()*2 - 1,
+		})
+	}
+	m, err := csr.FromEntries(rows, cols, entries)
+	if err != nil {
+		panic(fmt.Sprintf("matgen: ER: %v", err))
+	}
+	return m
+}
+
+// nextHit advances a geometric skip sequence: given the previous hit
+// index, it returns the next index that is a hit under probability p.
+func nextHit(rng *rand.Rand, prev int64, p float64) int64 {
+	// Geometric(p) gap, at least 1.
+	u := rng.Float64()
+	if u <= 0 {
+		u = 1e-300
+	}
+	gap := int64(1)
+	if p < 1 {
+		gap = 1 + int64(math.Log(u)/math.Log(1-p))
+	}
+	return prev + gap
+}
+
+// Band generates an n x n banded matrix with the given half-bandwidth:
+// row i has entries in columns [i-half, i+half] clipped to range.
+// Banded matrices model the regular high-compression-ratio inputs
+// (nlpkkt200-like): A² of a band has compression ratio close to the
+// band width.
+func Band(n, half int, seed int64) *csr.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	var entries []csr.Entry
+	for i := 0; i < n; i++ {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		for j := lo; j <= hi; j++ {
+			v := rng.Float64() + 0.5
+			if j == i {
+				v += float64(2 * half) // diagonally dominant
+			}
+			entries = append(entries, csr.Entry{Row: int32(i), Col: int32(j), Val: v})
+		}
+	}
+	m, err := csr.FromEntries(n, n, entries)
+	if err != nil {
+		panic(fmt.Sprintf("matgen: Band: %v", err))
+	}
+	return m
+}
+
+// Stencil2D generates the 5-point Laplacian stencil matrix on a gx x gy
+// grid (n = gx*gy rows). It models the discretized-PDE inputs such as
+// stokes.
+func Stencil2D(gx, gy int) *csr.Matrix {
+	n := gx * gy
+	var entries []csr.Entry
+	at := func(x, y int) int32 { return int32(y*gx + x) }
+	for y := 0; y < gy; y++ {
+		for x := 0; x < gx; x++ {
+			i := at(x, y)
+			entries = append(entries, csr.Entry{Row: i, Col: i, Val: 4})
+			if x > 0 {
+				entries = append(entries, csr.Entry{Row: i, Col: at(x-1, y), Val: -1})
+			}
+			if x < gx-1 {
+				entries = append(entries, csr.Entry{Row: i, Col: at(x+1, y), Val: -1})
+			}
+			if y > 0 {
+				entries = append(entries, csr.Entry{Row: i, Col: at(x, y-1), Val: -1})
+			}
+			if y < gy-1 {
+				entries = append(entries, csr.Entry{Row: i, Col: at(x, y+1), Val: -1})
+			}
+		}
+	}
+	m, err := csr.FromEntries(n, n, entries)
+	if err != nil {
+		panic(fmt.Sprintf("matgen: Stencil2D: %v", err))
+	}
+	return m
+}
+
+// BlockDiag generates a block-diagonal matrix of nblocks dense blocks of
+// size bs x bs each. Dense blocks square to dense blocks, giving a
+// compression ratio of about 2*bs — useful for stressing the dense
+// accumulator path.
+func BlockDiag(nblocks, bs int, seed int64) *csr.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	n := nblocks * bs
+	var entries []csr.Entry
+	for bb := 0; bb < nblocks; bb++ {
+		base := int32(bb * bs)
+		for i := 0; i < bs; i++ {
+			for j := 0; j < bs; j++ {
+				entries = append(entries, csr.Entry{Row: base + int32(i), Col: base + int32(j), Val: rng.Float64() + 0.1})
+			}
+		}
+	}
+	m, err := csr.FromEntries(n, n, entries)
+	if err != nil {
+		panic(fmt.Sprintf("matgen: BlockDiag: %v", err))
+	}
+	return m
+}

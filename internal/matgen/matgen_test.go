@@ -1,0 +1,167 @@
+package matgen
+
+import (
+	"testing"
+
+	"repro/internal/csr"
+)
+
+func TestRMATDeterministicAndValid(t *testing.T) {
+	a := RMAT(8, 8, 0.57, 0.19, 0.19, 42)
+	b := RMAT(8, 8, 0.57, 0.19, 0.19, 42)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("RMAT invalid: %v", err)
+	}
+	if !csr.Equal(a, b, 0) {
+		t.Fatal("RMAT not deterministic for same seed")
+	}
+	c := RMAT(8, 8, 0.57, 0.19, 0.19, 43)
+	if csr.Equal(a, c, 0) {
+		t.Fatal("RMAT identical for different seeds")
+	}
+	if a.Rows != 256 || a.Cols != 256 {
+		t.Fatalf("RMAT dims %dx%d, want 256x256", a.Rows, a.Cols)
+	}
+	if a.Nnz() == 0 || a.Nnz() > 8*256 {
+		t.Fatalf("RMAT nnz = %d out of range", a.Nnz())
+	}
+	for _, v := range a.Data {
+		if v != 1 {
+			t.Fatalf("RMAT value %v, want 1", v)
+		}
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	// With a >> d the degree distribution must be skewed: the maximum
+	// out-degree should far exceed the average.
+	m := RMAT(10, 16, 0.6, 0.17, 0.17, 7)
+	avg := float64(m.Nnz()) / float64(m.Rows)
+	if mx := float64(m.MaxRowNnz()); mx < 4*avg {
+		t.Fatalf("RMAT max degree %.0f not skewed vs avg %.1f", mx, avg)
+	}
+}
+
+func TestERDensity(t *testing.T) {
+	p := 0.05
+	m := ER(200, 300, p, 11)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("ER invalid: %v", err)
+	}
+	want := p * 200 * 300
+	got := float64(m.Nnz())
+	if got < want*0.7 || got > want*1.3 {
+		t.Fatalf("ER nnz = %.0f, want about %.0f", got, want)
+	}
+}
+
+func TestEREmptyAndFull(t *testing.T) {
+	if m := ER(10, 10, 0, 1); m.Nnz() != 0 {
+		t.Fatal("ER(p=0) not empty")
+	}
+	if m := ER(10, 10, 1, 1); m.Nnz() != 100 {
+		t.Fatalf("ER(p=1) nnz = %d, want 100", m.Nnz())
+	}
+}
+
+func TestBandStructure(t *testing.T) {
+	n, half := 50, 3
+	m := Band(n, half, 5)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Band invalid: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		cols, _ := m.Row(i)
+		for _, c := range cols {
+			if int(c) < i-half || int(c) > i+half {
+				t.Fatalf("row %d has column %d outside band", i, c)
+			}
+		}
+		wantLen := min(n-1, i+half) - max(0, i-half) + 1
+		if len(cols) != wantLen {
+			t.Fatalf("row %d nnz = %d, want %d", i, len(cols), wantLen)
+		}
+	}
+}
+
+func TestStencil2D(t *testing.T) {
+	m := Stencil2D(7, 5)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Stencil2D invalid: %v", err)
+	}
+	if m.Rows != 35 {
+		t.Fatalf("rows = %d, want 35", m.Rows)
+	}
+	// Interior point has 5 entries; a corner has 3.
+	if n := m.RowNnz(0); n != 3 {
+		t.Fatalf("corner nnz = %d, want 3", n)
+	}
+	interior := 2*7 + 3 // (x=3, y=2)
+	if n := m.RowNnz(interior); n != 5 {
+		t.Fatalf("interior nnz = %d, want 5", n)
+	}
+	// Laplacian rows sum to >= 0 with our sign convention (4 diag, -1 off).
+	cols, vals := m.Row(interior)
+	var sum float64
+	for i := range cols {
+		sum += vals[i]
+	}
+	if sum != 0 {
+		t.Fatalf("interior row sum = %v, want 0", sum)
+	}
+}
+
+func TestBlockDiag(t *testing.T) {
+	m := BlockDiag(4, 3, 9)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("BlockDiag invalid: %v", err)
+	}
+	if m.Rows != 12 || m.Nnz() != 4*9 {
+		t.Fatalf("dims %d nnz %d", m.Rows, m.Nnz())
+	}
+	// Entry (0, 5) crosses the first block boundary and must be absent.
+	cols, _ := m.Row(0)
+	for _, c := range cols {
+		if c >= 3 {
+			t.Fatalf("row 0 has out-of-block column %d", c)
+		}
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 9 {
+		t.Fatalf("suite has %d matrices, want 9", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, e := range suite {
+		if seen[e.Abbr] {
+			t.Fatalf("duplicate abbreviation %q", e.Abbr)
+		}
+		seen[e.Abbr] = true
+		if e.PaperCR < 1 {
+			t.Fatalf("%s: paper CR %v < 1", e.Abbr, e.PaperCR)
+		}
+	}
+	if _, err := SuiteByAbbr("nlp"); err != nil {
+		t.Fatalf("SuiteByAbbr(nlp): %v", err)
+	}
+	if _, err := SuiteByAbbr("missing"); err == nil {
+		t.Fatal("SuiteByAbbr(missing) should fail")
+	}
+}
+
+func TestSuiteMatricesValidSquare(t *testing.T) {
+	for _, e := range Suite() {
+		m := e.Gen()
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: invalid: %v", e.Abbr, err)
+		}
+		if m.Rows != m.Cols {
+			t.Fatalf("%s: not square (%dx%d)", e.Abbr, m.Rows, m.Cols)
+		}
+		if m.Nnz() == 0 {
+			t.Fatalf("%s: empty", e.Abbr)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package matgen
+
+import (
+	"fmt"
+
+	"repro/internal/csr"
+)
+
+// SuiteEntry describes one matrix of the evaluation suite: a scaled
+// synthetic analog of one of the paper's nine SuiteSparse inputs
+// (Table II), chosen to match the structural class and the compression
+// ratio flop(A²)/nnz(A²) of the original.
+type SuiteEntry struct {
+	// Name is the SuiteSparse matrix this entry stands in for.
+	Name string
+	// Abbr is the abbreviation used in the paper's figures.
+	Abbr string
+	// Class describes the generator family ("rmat", "band", "stencil").
+	Class string
+	// PaperN, PaperNnz, PaperFlops, PaperNnzC are the Table II numbers
+	// (in millions) for the original matrix.
+	PaperN, PaperNnz, PaperFlops, PaperNnzC float64
+	// PaperCR is the Table II compression ratio flop(A²)/nnz(A²).
+	PaperCR float64
+	// Gen builds the scaled analog.
+	Gen func() *csr.Matrix
+}
+
+// Suite returns the nine-matrix evaluation suite in the paper's Table II
+// order. Matrices are scaled down roughly 1000x so that experiments run
+// on a laptop, with the simulated device memory scaled down accordingly
+// (see the exp package). Generation is deterministic.
+func Suite() []SuiteEntry {
+	return []SuiteEntry{
+		{
+			Name: "ljournal-2008", Abbr: "lj2008", Class: "rmat",
+			PaperN: 5.36, PaperNnz: 79.02, PaperFlops: 7828.66, PaperNnzC: 4245.41, PaperCR: 1.84,
+			Gen: func() *csr.Matrix { return RMAT(12, 8, 0.57, 0.19, 0.19, 1001) },
+		},
+		{
+			Name: "com-LiveJournal", Abbr: "com-lj", Class: "rmat",
+			PaperN: 4.00, PaperNnz: 69.36, PaperFlops: 8580.90, PaperNnzC: 4859.09, PaperCR: 1.77,
+			Gen: func() *csr.Matrix { return RMAT(12, 9, 0.55, 0.2, 0.2, 1002) },
+		},
+		{
+			Name: "soc-LiveJournal1", Abbr: "soc-lj", Class: "rmat",
+			PaperN: 4.85, PaperNnz: 68.99, PaperFlops: 5915.63, PaperNnzC: 3366.05, PaperCR: 1.76,
+			Gen: func() *csr.Matrix { return RMAT(12, 7, 0.55, 0.2, 0.2, 1003) },
+		},
+		{
+			Name: "stokes", Abbr: "stokes", Class: "band",
+			PaperN: 11.45, PaperNnz: 349.32, PaperFlops: 9424.18, PaperNnzC: 2115.15, PaperCR: 4.46,
+			Gen: func() *csr.Matrix { return Band(11450, 5, 1004) },
+		},
+		{
+			Name: "uk-2002", Abbr: "uk-2002", Class: "band",
+			PaperN: 18.52, PaperNnz: 298.11, PaperFlops: 29206.61, PaperNnzC: 3194.99, PaperCR: 9.14,
+			Gen: func() *csr.Matrix { return Band(12000, 8, 1005) },
+		},
+		{
+			Name: "wikipedia-20070206", Abbr: "wiki0206", Class: "rmat",
+			PaperN: 3.57, PaperNnz: 45.03, PaperFlops: 12796.04, PaperNnzC: 4802.94, PaperCR: 2.66,
+			Gen: func() *csr.Matrix { return RMAT(11, 14, 0.58, 0.18, 0.18, 1006) },
+		},
+		{
+			Name: "nlpkkt200", Abbr: "nlp", Class: "band",
+			PaperN: 16.24, PaperNnz: 440.23, PaperFlops: 24932.82, PaperNnzC: 2425.94, PaperCR: 10.28,
+			Gen: func() *csr.Matrix { return Band(13000, 10, 1007) },
+		},
+		{
+			Name: "wikipedia-20061104", Abbr: "wiki1104", Class: "rmat",
+			PaperN: 3.15, PaperNnz: 39.38, PaperFlops: 10728.99, PaperNnzC: 4018.47, PaperCR: 2.67,
+			Gen: func() *csr.Matrix { return RMAT(11, 13, 0.58, 0.18, 0.18, 1008) },
+		},
+		{
+			Name: "wikipedia-20060925", Abbr: "wiki0925", Class: "rmat",
+			PaperN: 2.98, PaperNnz: 37.27, PaperFlops: 10030.09, PaperNnzC: 3750.38, PaperCR: 2.67,
+			Gen: func() *csr.Matrix { return RMAT(11, 12, 0.58, 0.18, 0.18, 1009) },
+		},
+	}
+}
+
+// SuiteByAbbr returns the suite entry with the given abbreviation.
+func SuiteByAbbr(abbr string) (SuiteEntry, error) {
+	for _, e := range Suite() {
+		if e.Abbr == abbr {
+			return e, nil
+		}
+	}
+	return SuiteEntry{}, fmt.Errorf("matgen: no suite matrix %q", abbr)
+}

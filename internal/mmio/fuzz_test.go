@@ -1,0 +1,79 @@
+package mmio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/csr"
+)
+
+// FuzzRead checks the Matrix Market parser never panics and that any
+// matrix it accepts is structurally valid and round-trips.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.5\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 5\n2 1 1\n",
+		"%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n",
+		"%%MatrixMarket matrix coordinate integer general\n1 2 1\n1 2 7\n",
+		"%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3\n",
+		"% comment only\n",
+		"%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 nan\n",
+		"%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := Read(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("accepted invalid matrix: %v\ninput: %q", verr, in)
+		}
+		// Accepted matrices must round-trip (NaN values break Equal,
+		// so compare structure only when values are comparable).
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v\ninput: %q", err, in)
+		}
+		if back.Rows != m.Rows || back.Cols != m.Cols || back.Nnz() != m.Nnz() {
+			t.Fatalf("round trip changed shape: %dx%d/%d vs %dx%d/%d",
+				m.Rows, m.Cols, m.Nnz(), back.Rows, back.Cols, back.Nnz())
+		}
+	})
+}
+
+// FuzzFromEntries checks the CSR builder on arbitrary triplets.
+func FuzzFromEntries(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(10), uint16(30))
+	f.Fuzz(func(t *testing.T, seed int64, rows, cols uint8, count uint16) {
+		r := int(rows)%64 + 1
+		c := int(cols)%64 + 1
+		es := make([]csr.Entry, 0, count%512)
+		x := seed
+		for i := 0; i < int(count%512); i++ {
+			// Cheap deterministic PRNG to map the fuzz input to entries.
+			x = x*6364136223846793005 + 1442695040888963407
+			es = append(es, csr.Entry{
+				Row: int32((x >> 8) & 0x3f % int64(r)),
+				Col: int32((x >> 20) & 0x3f % int64(c)),
+				Val: float64(int8(x >> 32)),
+			})
+		}
+		m, err := csr.FromEntries(r, c, es)
+		if err != nil {
+			t.Fatalf("in-range entries rejected: %v", err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("invalid CSR built: %v", err)
+		}
+	})
+}

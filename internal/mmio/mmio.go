@@ -1,0 +1,213 @@
+// Package mmio reads and writes sparse matrices in the Matrix Market
+// exchange format (.mtx), the format the SuiteSparse Matrix Collection
+// distributes its matrices in. Coordinate-format real, integer and
+// pattern matrices are supported, with general, symmetric and
+// skew-symmetric storage. Files compressed with gzip are handled
+// transparently by ReadFile/WriteFile when the name ends in ".gz".
+package mmio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/csr"
+)
+
+// header describes the banner line of a Matrix Market file.
+type header struct {
+	object   string // "matrix"
+	format   string // "coordinate" or "array"
+	field    string // "real", "integer", "pattern", "complex"
+	symmetry string // "general", "symmetric", "skew-symmetric", "hermitian"
+}
+
+func parseHeader(line string) (header, error) {
+	fields := strings.Fields(strings.ToLower(line))
+	if len(fields) != 5 || fields[0] != "%%matrixmarket" {
+		return header{}, fmt.Errorf("mmio: malformed banner %q", line)
+	}
+	h := header{object: fields[1], format: fields[2], field: fields[3], symmetry: fields[4]}
+	if h.object != "matrix" {
+		return h, fmt.Errorf("mmio: unsupported object %q", h.object)
+	}
+	if h.format != "coordinate" {
+		return h, fmt.Errorf("mmio: unsupported format %q (only coordinate)", h.format)
+	}
+	switch h.field {
+	case "real", "integer", "pattern":
+	default:
+		return h, fmt.Errorf("mmio: unsupported field %q", h.field)
+	}
+	switch h.symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return h, fmt.Errorf("mmio: unsupported symmetry %q", h.symmetry)
+	}
+	return h, nil
+}
+
+// Read parses a Matrix Market stream into a CSR matrix. Symmetric and
+// skew-symmetric storage are expanded to full general form (as SpGEMM
+// codes conventionally do before multiplying).
+func Read(r io.Reader) (*csr.Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mmio: empty input: %w", sc.Err())
+	}
+	h, err := parseHeader(sc.Text())
+	if err != nil {
+		return nil, err
+	}
+
+	// Skip comments, find the size line.
+	var rows, cols int
+	var declared int64
+	for {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("mmio: missing size line: %w", sc.Err())
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("mmio: malformed size line %q", line)
+		}
+		if rows, err = strconv.Atoi(f[0]); err != nil {
+			return nil, fmt.Errorf("mmio: bad row count: %w", err)
+		}
+		if cols, err = strconv.Atoi(f[1]); err != nil {
+			return nil, fmt.Errorf("mmio: bad column count: %w", err)
+		}
+		if declared, err = strconv.ParseInt(f[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("mmio: bad nnz count: %w", err)
+		}
+		break
+	}
+
+	entries := make([]csr.Entry, 0, declared)
+	var seen int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		minFields := 3
+		if h.field == "pattern" {
+			minFields = 2
+		}
+		if len(f) < minFields {
+			return nil, fmt.Errorf("mmio: malformed entry line %q", line)
+		}
+		ri, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: bad row index %q: %w", f[0], err)
+		}
+		ci, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: bad column index %q: %w", f[1], err)
+		}
+		v := 1.0
+		if h.field != "pattern" {
+			if v, err = strconv.ParseFloat(f[2], 64); err != nil {
+				return nil, fmt.Errorf("mmio: bad value %q: %w", f[2], err)
+			}
+		}
+		// Matrix Market is 1-based.
+		r0, c0 := ri-1, ci-1
+		if r0 < 0 || r0 >= rows || c0 < 0 || c0 >= cols {
+			return nil, fmt.Errorf("mmio: entry (%d,%d) outside %dx%d", ri, ci, rows, cols)
+		}
+		entries = append(entries, csr.Entry{Row: int32(r0), Col: int32(c0), Val: v})
+		if h.symmetry != "general" && r0 != c0 {
+			mv := v
+			if h.symmetry == "skew-symmetric" {
+				mv = -v
+			}
+			entries = append(entries, csr.Entry{Row: int32(c0), Col: int32(r0), Val: mv})
+		}
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mmio: read: %w", err)
+	}
+	if seen != declared {
+		return nil, fmt.Errorf("mmio: declared %d entries, found %d", declared, seen)
+	}
+	return csr.FromEntries(rows, cols, entries)
+}
+
+// Write emits the matrix in coordinate real general Matrix Market form.
+func Write(w io.Writer, m *csr.Matrix) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.Nnz()); err != nil {
+		return err
+	}
+	for r := 0; r < m.Rows; r++ {
+		cols, vals := m.Row(r)
+		for i := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", r+1, cols[i]+1, vals[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile reads a .mtx (optionally .mtx.gz) file.
+func ReadFile(path string) (*csr.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("mmio: %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	m, err := Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("mmio: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteFile writes a .mtx (optionally .mtx.gz) file.
+func WriteFile(path string, m *csr.Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		if err := Write(gz, m); err != nil {
+			return err
+		}
+		if err := gz.Close(); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	if err := Write(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,198 @@
+// Package multigpu extends the out-of-core framework to several GPUs
+// on one node — the scaling direction the paper's conclusion points to
+// ("our ultimate goal of continuing to scale SpGEMM computations to
+// arbitrarily large matrices").
+//
+// The chunk grid of Algorithm 3 already makes chunks independent, so
+// multi-GPU execution is a scheduling problem: chunks are sorted by
+// decreasing flops and assigned greedily to the least-loaded GPU (LPT
+// scheduling), each GPU runs the asynchronous out-of-core pipeline
+// over its share, and an optional CPU worker takes a trailing share of
+// the flops exactly as in the hybrid engine. Every simulated GPU has
+// its own DMA engines (cards on separate PCIe slots); all share one
+// virtual clock.
+package multigpu
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cpuspgemm"
+	"repro/internal/csr"
+	"repro/internal/gpusim"
+	"repro/internal/hybrid"
+	"repro/internal/sim"
+	"repro/internal/speck"
+)
+
+// Options configures a multi-GPU run.
+type Options struct {
+	// Core configures the chunk grid and the per-GPU pipeline (Async
+	// is forced on).
+	Core core.Options
+	// NumGPUs is the device count; 0 means 1.
+	NumGPUs int
+	// UseCPU adds a CPU worker taking the trailing (1-Ratio) share of
+	// flops.
+	UseCPU bool
+	// Ratio is the collective GPU flop share when UseCPU is set; zero
+	// means hybrid.DefaultRatio.
+	Ratio float64
+	// Host is the CPU cost model; zero value means the default.
+	Host hybrid.HostModel
+}
+
+// Stats reports a multi-GPU run.
+type Stats struct {
+	// TotalSec is the simulated makespan; Flops and GFLOPS as usual.
+	TotalSec float64
+	Flops    int64
+	GFLOPS   float64
+	NnzC     int64
+	// GPUChunks[i] is the chunk count GPU i processed; CPUChunks the
+	// CPU worker's count.
+	GPUChunks []int
+	CPUChunks int
+	// GPUBusySec[i] is the finish time of GPU i's worker.
+	GPUBusySec []float64
+}
+
+// Assign distributes chunk ids over n workers with longest-processing-
+// time-first greedy scheduling on their flop counts. It returns one id
+// list per worker, each sorted by decreasing flops (the §IV-C order).
+func Assign(ids []int, flops []int64, n int) [][]int {
+	sorted := append([]int(nil), ids...)
+	sort.SliceStable(sorted, func(i, j int) bool { return flops[sorted[i]] > flops[sorted[j]] })
+	out := make([][]int, n)
+	load := make([]int64, n)
+	for _, id := range sorted {
+		// Least-loaded worker (ties to the lowest index).
+		w := 0
+		for i := 1; i < n; i++ {
+			if load[i] < load[w] {
+				w = i
+			}
+		}
+		out[w] = append(out[w], id)
+		load[w] += flops[id]
+	}
+	return out
+}
+
+// Run multiplies A·B across NumGPUs simulated devices (plus optionally
+// the CPU) and returns the exact product and statistics.
+func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, Stats, error) {
+	if opts.NumGPUs < 1 {
+		opts.NumGPUs = 1
+	}
+	if opts.Ratio <= 0 {
+		// Generalize the paper's Ratio = S/(S+1) to N GPUs: the GPUs
+		// collectively deliver N·S CPU-equivalents, so they take
+		// N·S/(N·S+1) of the flops.
+		s := hybrid.DefaultRatio / (1 - hybrid.DefaultRatio)
+		ns := float64(opts.NumGPUs) * s
+		opts.Ratio = ns / (ns + 1)
+	}
+	if opts.Host == (hybrid.HostModel{}) {
+		opts.Host = hybrid.DefaultHostModel()
+	}
+	opts.Core.Async = true
+	opts.Core.Reorder = false // Assign already orders each share
+
+	env := sim.NewEnv()
+
+	// One engine per GPU. The first engine also assembles the result.
+	engines := make([]*core.Engine, opts.NumGPUs)
+	for g := range engines {
+		dev := gpusim.NewDevice(env, cfg)
+		eng, err := core.NewEngine(dev, a, b, opts.Core)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		engines[g] = eng
+	}
+	flops := engines[0].ChunkFlops()
+	var totalFlops int64
+	for _, f := range flops {
+		totalFlops += f
+	}
+
+	// Optional CPU share: the trailing chunks by flops, as in the
+	// hybrid engine.
+	all := make([]int, len(flops))
+	for i := range all {
+		all[i] = i
+	}
+	gpuIDs, cpuIDs := all, []int(nil)
+	if opts.UseCPU {
+		gpuIDs, cpuIDs = hybrid.Split(flops, opts.Ratio, true)
+	}
+	shares := Assign(gpuIDs, flops, opts.NumGPUs)
+
+	st := Stats{
+		Flops:      totalFlops,
+		GPUChunks:  make([]int, opts.NumGPUs),
+		GPUBusySec: make([]float64, opts.NumGPUs),
+		CPUChunks:  len(cpuIDs),
+	}
+
+	var cpuErr error
+	for g := range engines {
+		g := g
+		st.GPUChunks[g] = len(shares[g])
+		env.Spawn(fmt.Sprintf("gpu%d", g), func(p *sim.Proc) {
+			engines[g].ProcessChunks(p, shares[g])
+			st.GPUBusySec[g] = sim.SecondsAt(env.Now())
+		})
+	}
+	if len(cpuIDs) > 0 {
+		env.Spawn("cpu", func(p *sim.Proc) {
+			hashF, denseF, outNnz := speck.ClassifyFlops(a, b)
+			wholeSec := opts.Host.ChunkSeconds(hashF, denseF, outNnz*12+int64(a.Rows+1)*8)
+			for _, id := range cpuIDs {
+				nc := len(engines[0].ColPanels)
+				rp, cp := engines[0].RowPanels[id/nc], engines[0].ColPanels[id%nc]
+				c, err := cpuspgemm.Multiply(rp.M, cp.M, cpuspgemm.Options{Threads: opts.Host.Threads})
+				if err != nil {
+					cpuErr = err
+					return
+				}
+				sec := 0.0
+				if totalFlops > 0 {
+					sec = wholeSec * float64(flops[id]) / float64(totalFlops)
+				}
+				p.Span("cpu", fmt.Sprintf("chunk %d", id), sim.Seconds(sec))
+				engines[0].PutCPUResult(id, c, flops[id])
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		return nil, Stats{}, err
+	}
+	for _, eng := range engines {
+		if eng.Err() != nil {
+			return nil, Stats{}, eng.Err()
+		}
+	}
+	if cpuErr != nil {
+		return nil, Stats{}, cpuErr
+	}
+
+	// Merge all results into engine 0 and assemble.
+	for g := 1; g < len(engines); g++ {
+		for id, res := range engines[g].Results {
+			engines[0].Results[id] = res
+		}
+	}
+	c, err := engines[0].Assemble()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st.TotalSec = sim.SecondsAt(env.Now())
+	st.NnzC = c.Nnz()
+	if st.TotalSec > 0 {
+		st.GFLOPS = float64(totalFlops) / st.TotalSec / 1e9
+	}
+	return c, st, nil
+}

@@ -1,0 +1,245 @@
+// Package partition splits the input matrices of an out-of-core SpGEMM
+// into panels, following Section III-D of the paper.
+//
+// Matrix A is split into row panels — trivial under CSR, since each
+// row's storage is contiguous. Matrix B is split into column panels,
+// which is harder because CSR gives no direct access to columns. Three
+// implementations of the B partitioner are provided:
+//
+//   - Simplistic: for every panel, scan every row in full and test each
+//     element against the panel's column range — O(panels · nnz).
+//   - ColOffset: the paper's optimization. An auxiliary col_offset array
+//     remembers, per row, where the previous panel's scan stopped;
+//     because column ids are sorted within a row, each panel's elements
+//     are a contiguous segment, so the whole partitioning is O(nnz).
+//   - Parallel: a row-parallel prefix-sum formulation of the same idea.
+//
+// Column panels store local column ids (rebased so the panel's first
+// column is 0) plus the global offset, so downstream dense accumulators
+// can be sized to the panel width.
+package partition
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/csr"
+)
+
+// RowPanel is a contiguous range of rows of A.
+type RowPanel struct {
+	// Start and End give the global row range [Start, End).
+	Start, End int
+	// M is the panel contents; M.Rows == End-Start.
+	M *csr.Matrix
+}
+
+// ColPanel is a contiguous range of columns of B with local column ids.
+type ColPanel struct {
+	// Start and End give the global column range [Start, End).
+	Start, End int
+	// M is the panel contents with column ids rebased by -Start;
+	// M.Cols == End-Start.
+	M *csr.Matrix
+}
+
+// Bounds returns num+1 even boundaries over extent.
+func Bounds(extent, num int) []int {
+	b := make([]int, num+1)
+	for i := 0; i <= num; i++ {
+		b[i] = i * extent / num
+	}
+	return b
+}
+
+// RowPanels partitions A into num contiguous row panels of
+// near-equal row counts (partition_rows of Algorithm 3).
+func RowPanels(a *csr.Matrix, num int) ([]RowPanel, error) {
+	if num < 1 || num > max(1, a.Rows) {
+		return nil, fmt.Errorf("partition: %d row panels for %d rows", num, a.Rows)
+	}
+	b := Bounds(a.Rows, num)
+	out := make([]RowPanel, num)
+	for i := 0; i < num; i++ {
+		out[i] = RowPanel{Start: b[i], End: b[i+1], M: a.ExtractRows(b[i], b[i+1])}
+	}
+	return out, nil
+}
+
+// ColPanelsSimplistic partitions B into num column panels with the
+// unoptimized algorithm the paper describes first: each panel scans all
+// rows in full. Kept as a baseline for the partitioner ablation.
+func ColPanelsSimplistic(b *csr.Matrix, num int) ([]ColPanel, error) {
+	if err := checkColArgs(b, num); err != nil {
+		return nil, err
+	}
+	bounds := Bounds(b.Cols, num)
+	out := make([]ColPanel, num)
+	for p := 0; p < num; p++ {
+		startCol, endCol := int32(bounds[p]), int32(bounds[p+1])
+		// Stage 1: count non-zeros per row within the column range.
+		pm := &csr.Matrix{Rows: b.Rows, Cols: int(endCol - startCol), RowOffsets: make([]int64, b.Rows+1)}
+		for r := 0; r < b.Rows; r++ {
+			var n int64
+			for q := b.RowOffsets[r]; q < b.RowOffsets[r+1]; q++ {
+				if c := b.ColIDs[q]; c >= startCol && c < endCol {
+					n++
+				}
+			}
+			pm.RowOffsets[r+1] = pm.RowOffsets[r] + n
+		}
+		// Stage 2: allocate, then fill.
+		nnz := pm.RowOffsets[b.Rows]
+		pm.ColIDs = make([]int32, nnz)
+		pm.Data = make([]float64, nnz)
+		w := int64(0)
+		for r := 0; r < b.Rows; r++ {
+			for q := b.RowOffsets[r]; q < b.RowOffsets[r+1]; q++ {
+				if c := b.ColIDs[q]; c >= startCol && c < endCol {
+					pm.ColIDs[w] = c - startCol
+					pm.Data[w] = b.Data[q]
+					w++
+				}
+			}
+		}
+		out[p] = ColPanel{Start: int(startCol), End: int(endCol), M: pm}
+	}
+	return out, nil
+}
+
+// ColPanels partitions B into num column panels using the paper's
+// col_offset optimization: each row is scanned exactly once across all
+// panels, resuming where the previous panel stopped.
+func ColPanels(b *csr.Matrix, num int) ([]ColPanel, error) {
+	if err := checkColArgs(b, num); err != nil {
+		return nil, err
+	}
+	bounds := Bounds(b.Cols, num)
+	// col_offset[r]: earliest location in ColIDs/Data where elements for
+	// row r and the current panel can start.
+	colOffset := make([]int64, b.Rows)
+	for r := 0; r < b.Rows; r++ {
+		colOffset[r] = b.RowOffsets[r]
+	}
+	out := make([]ColPanel, num)
+	for p := 0; p < num; p++ {
+		startCol, endCol := int32(bounds[p]), int32(bounds[p+1])
+		pm := &csr.Matrix{Rows: b.Rows, Cols: int(endCol - startCol), RowOffsets: make([]int64, b.Rows+1)}
+		// Stage 1: advance each row's offset to find this panel's
+		// contiguous segment; record segment lengths.
+		segEnd := make([]int64, b.Rows)
+		for r := 0; r < b.Rows; r++ {
+			q := colOffset[r]
+			for q < b.RowOffsets[r+1] && b.ColIDs[q] < endCol {
+				q++
+			}
+			segEnd[r] = q
+			pm.RowOffsets[r+1] = pm.RowOffsets[r] + (q - colOffset[r])
+		}
+		// Stage 2: allocate and copy the contiguous segments.
+		nnz := pm.RowOffsets[b.Rows]
+		pm.ColIDs = make([]int32, nnz)
+		pm.Data = make([]float64, nnz)
+		for r := 0; r < b.Rows; r++ {
+			w := pm.RowOffsets[r]
+			for q := colOffset[r]; q < segEnd[r]; q++ {
+				pm.ColIDs[w] = b.ColIDs[q] - startCol
+				pm.Data[w] = b.Data[q]
+				w++
+			}
+			colOffset[r] = segEnd[r]
+		}
+		out[p] = ColPanel{Start: int(startCol), End: int(endCol), M: pm}
+	}
+	return out, nil
+}
+
+// ColPanelsParallel is the row-parallel prefix-sum formulation: workers
+// split the rows, each computing all its rows' per-panel segment
+// boundaries in a single sweep; per-panel row offsets then come from
+// prefix sums and the fill phase is parallel too.
+func ColPanelsParallel(b *csr.Matrix, num, threads int) ([]ColPanel, error) {
+	if err := checkColArgs(b, num); err != nil {
+		return nil, err
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	bounds := Bounds(b.Cols, num)
+
+	// seg[p][r] = index into ColIDs where row r's segment for panel p
+	// ends (its start is the previous panel's end).
+	seg := make([][]int64, num)
+	for p := range seg {
+		seg[p] = make([]int64, b.Rows)
+	}
+	rowBounds := Bounds(b.Rows, threads)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		lo, hi := rowBounds[w], rowBounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for r := lo; r < hi; r++ {
+				q := b.RowOffsets[r]
+				for p := 0; p < num; p++ {
+					endCol := int32(bounds[p+1])
+					for q < b.RowOffsets[r+1] && b.ColIDs[q] < endCol {
+						q++
+					}
+					seg[p][r] = q
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	out := make([]ColPanel, num)
+	for p := 0; p < num; p++ {
+		startCol := int32(bounds[p])
+		pm := &csr.Matrix{Rows: b.Rows, Cols: bounds[p+1] - bounds[p], RowOffsets: make([]int64, b.Rows+1)}
+		segStart := func(r int) int64 {
+			if p == 0 {
+				return b.RowOffsets[r]
+			}
+			return seg[p-1][r]
+		}
+		for r := 0; r < b.Rows; r++ {
+			pm.RowOffsets[r+1] = pm.RowOffsets[r] + (seg[p][r] - segStart(r))
+		}
+		nnz := pm.RowOffsets[b.Rows]
+		pm.ColIDs = make([]int32, nnz)
+		pm.Data = make([]float64, nnz)
+		for w := 0; w < threads; w++ {
+			lo, hi := rowBounds[w], rowBounds[w+1]
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for r := lo; r < hi; r++ {
+					wpos := pm.RowOffsets[r]
+					for q := segStart(r); q < seg[p][r]; q++ {
+						pm.ColIDs[wpos] = b.ColIDs[q] - startCol
+						pm.Data[wpos] = b.Data[q]
+						wpos++
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		out[p] = ColPanel{Start: bounds[p], End: bounds[p+1], M: pm}
+	}
+	return out, nil
+}
+
+func checkColArgs(b *csr.Matrix, num int) error {
+	if num < 1 || num > max(1, b.Cols) {
+		return fmt.Errorf("partition: %d column panels for %d columns", num, b.Cols)
+	}
+	return nil
+}

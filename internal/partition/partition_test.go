@@ -1,0 +1,246 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/csr"
+	"repro/internal/matgen"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int, density float64) *csr.Matrix {
+	var es []csr.Entry
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if rng.Float64() < density {
+				es = append(es, csr.Entry{Row: int32(r), Col: int32(c), Val: rng.NormFloat64()})
+			}
+		}
+	}
+	m, err := csr.FromEntries(rows, cols, es)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestBounds(t *testing.T) {
+	b := Bounds(10, 3)
+	want := []int{0, 3, 6, 10}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("Bounds(10,3) = %v", b)
+		}
+	}
+	if b := Bounds(5, 5); b[1] != 1 || b[5] != 5 {
+		t.Fatalf("Bounds(5,5) = %v", b)
+	}
+	if b := Bounds(0, 1); b[0] != 0 || b[1] != 0 {
+		t.Fatalf("Bounds(0,1) = %v", b)
+	}
+}
+
+func TestRowPanelsReassemble(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 37, 20, 0.2)
+	for _, num := range []int{1, 2, 5, 37} {
+		panels, err := RowPanels(a, num)
+		if err != nil {
+			t.Fatalf("RowPanels(%d): %v", num, err)
+		}
+		if len(panels) != num {
+			t.Fatalf("got %d panels, want %d", len(panels), num)
+		}
+		row := 0
+		for _, p := range panels {
+			if p.Start != row {
+				t.Fatalf("panel start %d, want %d", p.Start, row)
+			}
+			if err := p.M.Validate(); err != nil {
+				t.Fatalf("panel invalid: %v", err)
+			}
+			for r := 0; r < p.M.Rows; r++ {
+				pc, pv := p.M.Row(r)
+				ac, av := a.Row(p.Start + r)
+				if len(pc) != len(ac) {
+					t.Fatalf("panel row %d nnz mismatch", r)
+				}
+				for i := range pc {
+					if pc[i] != ac[i] || pv[i] != av[i] {
+						t.Fatalf("panel row %d element %d mismatch", r, i)
+					}
+				}
+			}
+			row = p.End
+		}
+		if row != a.Rows {
+			t.Fatalf("panels cover %d rows, want %d", row, a.Rows)
+		}
+	}
+}
+
+func TestRowPanelsErrors(t *testing.T) {
+	a := csr.New(5, 5)
+	if _, err := RowPanels(a, 0); err == nil {
+		t.Fatal("expected error for 0 panels")
+	}
+	if _, err := RowPanels(a, 6); err == nil {
+		t.Fatal("expected error for more panels than rows")
+	}
+}
+
+// reassembleCols rebuilds B from its column panels for verification.
+func reassembleCols(t *testing.T, rows, cols int, panels []ColPanel) *csr.Matrix {
+	t.Helper()
+	var es []csr.Entry
+	for _, p := range panels {
+		if p.M.Cols != p.End-p.Start {
+			t.Fatalf("panel [%d,%d) has width %d", p.Start, p.End, p.M.Cols)
+		}
+		if err := p.M.Validate(); err != nil {
+			t.Fatalf("panel [%d,%d) invalid: %v", p.Start, p.End, err)
+		}
+		for r := 0; r < p.M.Rows; r++ {
+			pc, pv := p.M.Row(r)
+			for i := range pc {
+				es = append(es, csr.Entry{Row: int32(r), Col: pc[i] + int32(p.Start), Val: pv[i]})
+			}
+		}
+	}
+	m, err := csr.FromEntries(rows, cols, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+type colPartitioner struct {
+	name string
+	fn   func(*csr.Matrix, int) ([]ColPanel, error)
+}
+
+func partitioners() []colPartitioner {
+	return []colPartitioner{
+		{"simplistic", ColPanelsSimplistic},
+		{"coloffset", ColPanels},
+		{"parallel-1", func(b *csr.Matrix, n int) ([]ColPanel, error) { return ColPanelsParallel(b, n, 1) }},
+		{"parallel-4", func(b *csr.Matrix, n int) ([]ColPanel, error) { return ColPanelsParallel(b, n, 4) }},
+	}
+}
+
+func TestColPanelsReassemble(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, pt := range partitioners() {
+		for trial := 0; trial < 5; trial++ {
+			b := randomMatrix(rng, 20+rng.Intn(30), 15+rng.Intn(30), 0.15)
+			for _, num := range []int{1, 2, 3, 7} {
+				panels, err := pt.fn(b, num)
+				if err != nil {
+					t.Fatalf("%s(%d): %v", pt.name, num, err)
+				}
+				got := reassembleCols(t, b.Rows, b.Cols, panels)
+				if !csr.Equal(b, got, 0) {
+					t.Fatalf("%s(%d): reassembly mismatch: %s", pt.name, num, csr.Diff(b, got, 0))
+				}
+			}
+		}
+	}
+}
+
+func TestColPartitionersAgree(t *testing.T) {
+	b := matgen.RMAT(9, 6, 0.57, 0.19, 0.19, 3)
+	for _, num := range []int{1, 3, 8} {
+		want, err := ColPanelsSimplistic(b, num)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pt := range partitioners()[1:] {
+			got, err := pt.fn(b, num)
+			if err != nil {
+				t.Fatalf("%s: %v", pt.name, err)
+			}
+			for i := range want {
+				if got[i].Start != want[i].Start || got[i].End != want[i].End {
+					t.Fatalf("%s: panel %d range [%d,%d) want [%d,%d)", pt.name, i, got[i].Start, got[i].End, want[i].Start, want[i].End)
+				}
+				if !csr.Equal(got[i].M, want[i].M, 0) {
+					t.Fatalf("%s: panel %d contents differ: %s", pt.name, i, csr.Diff(got[i].M, want[i].M, 0))
+				}
+			}
+		}
+	}
+}
+
+func TestColPanelsNnzConservation(t *testing.T) {
+	b := matgen.Band(500, 3, 7)
+	for _, pt := range partitioners() {
+		panels, err := pt.fn(b, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, p := range panels {
+			total += p.M.Nnz()
+		}
+		if total != b.Nnz() {
+			t.Fatalf("%s: panels hold %d nnz, matrix has %d", pt.name, total, b.Nnz())
+		}
+	}
+}
+
+func TestColPanelsEmptyMatrix(t *testing.T) {
+	b := csr.New(10, 10)
+	for _, pt := range partitioners() {
+		panels, err := pt.fn(b, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", pt.name, err)
+		}
+		for _, p := range panels {
+			if p.M.Nnz() != 0 {
+				t.Fatalf("%s: empty matrix produced nnz", pt.name)
+			}
+		}
+	}
+}
+
+func TestColPanelsErrors(t *testing.T) {
+	b := csr.New(4, 4)
+	for _, pt := range partitioners() {
+		if _, err := pt.fn(b, 0); err == nil {
+			t.Fatalf("%s: expected error for 0 panels", pt.name)
+		}
+		if _, err := pt.fn(b, 5); err == nil {
+			t.Fatalf("%s: expected error for more panels than columns", pt.name)
+		}
+	}
+}
+
+func BenchmarkColPanelsSimplistic(b *testing.B) {
+	m := matgen.RMAT(12, 8, 0.57, 0.19, 0.19, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ColPanelsSimplistic(m, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColPanelsColOffset(b *testing.B) {
+	m := matgen.RMAT(12, 8, 0.57, 0.19, 0.19, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ColPanels(m, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColPanelsParallel(b *testing.B) {
+	m := matgen.RMAT(12, 8, 0.57, 0.19, 0.19, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ColPanelsParallel(m, 8, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package reorder implements matrix reordering for locality, the theme
+// of the paper's related work on partitioning (Akbudak et al. [1,2,3],
+// Ballard et al. [6] study hypergraph models that minimize data
+// movement of SpGEMM). Full hypergraph partitioning is out of scope;
+// this package provides the classic bandwidth-reducing permutation —
+// reverse Cuthill-McKee (RCM) — plus permutation utilities, which is
+// enough to study how input ordering shapes the out-of-core chunk
+// grid (Ablation experiment in internal/exp).
+package reorder
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/csr"
+)
+
+// RCM computes the reverse Cuthill-McKee permutation of a square
+// matrix's symmetrized sparsity graph: perm[newIndex] = oldIndex.
+// Components are traversed from minimum-degree seeds.
+func RCM(a *csr.Matrix) ([]int32, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("reorder: RCM needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	// Symmetrized adjacency (pattern of A + Aᵀ), built as index lists.
+	adj := make([][]int32, n)
+	addEdge := func(u int, v int32) {
+		if int(v) != u {
+			adj[u] = append(adj[u], v)
+		}
+	}
+	at := a.Transpose()
+	for r := 0; r < n; r++ {
+		cols, _ := a.Row(r)
+		for _, c := range cols {
+			addEdge(r, c)
+		}
+		tcols, _ := at.Row(r)
+		for _, c := range tcols {
+			addEdge(r, c)
+		}
+	}
+	// Dedup neighbor lists and sort by degree for the CM tie-break.
+	deg := make([]int, n)
+	for u := range adj {
+		sort.Slice(adj[u], func(i, j int) bool { return adj[u][i] < adj[u][j] })
+		w := 0
+		for i, v := range adj[u] {
+			if i == 0 || v != adj[u][i-1] {
+				adj[u][w] = v
+				w++
+			}
+		}
+		adj[u] = adj[u][:w]
+		deg[u] = w
+	}
+
+	visited := make([]bool, n)
+	order := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	for {
+		// Minimum-degree unvisited seed.
+		seed := -1
+		for u := 0; u < n; u++ {
+			if !visited[u] && (seed == -1 || deg[u] < deg[seed]) {
+				seed = u
+			}
+		}
+		if seed == -1 {
+			break
+		}
+		visited[seed] = true
+		queue = append(queue[:0], int32(seed))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			order = append(order, u)
+			// Enqueue unvisited neighbors in increasing-degree order.
+			var next []int32
+			for _, v := range adj[u] {
+				if !visited[v] {
+					visited[v] = true
+					next = append(next, v)
+				}
+			}
+			sort.Slice(next, func(i, j int) bool { return deg[next[i]] < deg[next[j]] })
+			queue = append(queue, next...)
+		}
+	}
+	// Reverse (the "R" in RCM).
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order, nil
+}
+
+// Permute applies a symmetric permutation: B = P·A·Pᵀ with
+// B[i][j] = A[perm[i]][perm[j]].
+func Permute(a *csr.Matrix, perm []int32) (*csr.Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("reorder: Permute needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(perm) != a.Rows {
+		return nil, fmt.Errorf("reorder: permutation length %d for %d rows", len(perm), a.Rows)
+	}
+	// inv[old] = new.
+	inv := make([]int32, a.Rows)
+	seen := make([]bool, a.Rows)
+	for newI, oldI := range perm {
+		if int(oldI) < 0 || int(oldI) >= a.Rows || seen[oldI] {
+			return nil, fmt.Errorf("reorder: invalid permutation at %d", newI)
+		}
+		seen[oldI] = true
+		inv[oldI] = int32(newI)
+	}
+	entries := make([]csr.Entry, 0, a.Nnz())
+	for r := 0; r < a.Rows; r++ {
+		cols, vals := a.Row(r)
+		for i := range cols {
+			entries = append(entries, csr.Entry{Row: inv[r], Col: inv[cols[i]], Val: vals[i]})
+		}
+	}
+	return csr.FromEntries(a.Rows, a.Cols, entries)
+}
+
+// Bandwidth reports the matrix bandwidth max |i-j| over stored entries.
+func Bandwidth(a *csr.Matrix) int {
+	bw := 0
+	for r := 0; r < a.Rows; r++ {
+		cols, _ := a.Row(r)
+		for _, c := range cols {
+			d := r - int(c)
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// Profile reports the sum over rows of the distance from the diagonal
+// to the leftmost entry — a finer locality measure than bandwidth.
+func Profile(a *csr.Matrix) int64 {
+	var p int64
+	for r := 0; r < a.Rows; r++ {
+		cols, _ := a.Row(r)
+		if len(cols) == 0 {
+			continue
+		}
+		d := r - int(cols[0])
+		if d > 0 {
+			p += int64(d)
+		}
+	}
+	return p
+}

@@ -1,0 +1,173 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cpuspgemm"
+	"repro/internal/csr"
+	"repro/internal/matgen"
+)
+
+func TestPermuteIdentity(t *testing.T) {
+	a := matgen.Band(50, 2, 1)
+	id := make([]int32, a.Rows)
+	for i := range id {
+		id[i] = int32(i)
+	}
+	p, err := Permute(a, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !csr.Equal(a, p, 0) {
+		t.Fatal("identity permutation changed the matrix")
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := matgen.ER(40, 40, 0.1, 3)
+	perm := rng.Perm(a.Rows)
+	p32 := make([]int32, len(perm))
+	for i, v := range perm {
+		p32[i] = int32(v)
+	}
+	b, err := Permute(a, p32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Inverse permutation: inv[new]=old means applying inv brings back.
+	inv := make([]int32, len(perm))
+	for newI, oldI := range p32 {
+		inv[oldI] = int32(newI)
+	}
+	back, err := Permute(b, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !csr.Equal(a, back, 0) {
+		t.Fatal("permutation round trip failed")
+	}
+}
+
+func TestPermuteErrors(t *testing.T) {
+	a := matgen.Band(10, 1, 4)
+	if _, err := Permute(csr.New(3, 4), nil); err == nil {
+		t.Fatal("expected non-square error")
+	}
+	if _, err := Permute(a, make([]int32, 3)); err == nil {
+		t.Fatal("expected length error")
+	}
+	bad := make([]int32, 10)
+	for i := range bad {
+		bad[i] = 0 // not a permutation
+	}
+	if _, err := Permute(a, bad); err == nil {
+		t.Fatal("expected invalid-permutation error")
+	}
+}
+
+func TestPermutePreservesSpectrumOfProduct(t *testing.T) {
+	// (P A Pᵀ)² = P A² Pᵀ: permuting commutes with squaring.
+	a := matgen.RMAT(8, 6, 0.57, 0.19, 0.19, 5)
+	perm, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := Permute(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paSq, err := cpuspgemm.Sequential(pa, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aSq, err := cpuspgemm.Sequential(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pASq, err := Permute(aSq, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !csr.Equal(paSq, pASq, 1e-9) {
+		t.Fatalf("permutation does not commute with squaring: %s", csr.Diff(paSq, pASq, 1e-9))
+	}
+}
+
+func TestRCMReducesBandwidthOfShuffledBand(t *testing.T) {
+	// Take a band matrix (bandwidth 3), scramble it, and check RCM
+	// recovers a small bandwidth.
+	band := matgen.Band(200, 3, 6)
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(band.Rows)
+	p32 := make([]int32, len(perm))
+	for i, v := range perm {
+		p32[i] = int32(v)
+	}
+	shuffled, err := Permute(band, p32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwShuffled := Bandwidth(shuffled)
+	if bwShuffled < 50 {
+		t.Fatalf("shuffle did not destroy locality: bandwidth %d", bwShuffled)
+	}
+	rcm, err := RCM(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := Permute(shuffled, rcm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwRecovered := Bandwidth(recovered)
+	if bwRecovered > 10 {
+		t.Fatalf("RCM bandwidth %d, want near the original 3 (shuffled %d)", bwRecovered, bwShuffled)
+	}
+	if Profile(recovered) >= Profile(shuffled) {
+		t.Fatal("RCM did not reduce the profile")
+	}
+}
+
+func TestRCMIsAPermutation(t *testing.T) {
+	a := matgen.ER(100, 100, 0.03, 8) // may be disconnected
+	perm, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perm) != a.Rows {
+		t.Fatalf("perm length %d", len(perm))
+	}
+	seen := make([]bool, a.Rows)
+	for _, v := range perm {
+		if seen[v] {
+			t.Fatalf("index %d repeated", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRCMErrors(t *testing.T) {
+	if _, err := RCM(csr.New(3, 4)); err == nil {
+		t.Fatal("expected non-square error")
+	}
+}
+
+func TestBandwidthAndProfile(t *testing.T) {
+	m, _ := csr.FromEntries(4, 4, []csr.Entry{
+		{Row: 0, Col: 3, Val: 1}, {Row: 2, Col: 1, Val: 1}, {Row: 3, Col: 3, Val: 1},
+	})
+	if bw := Bandwidth(m); bw != 3 {
+		t.Fatalf("Bandwidth = %d", bw)
+	}
+	if p := Profile(m); p != 1 { // row 2 leftmost at col 1 → distance 1
+		t.Fatalf("Profile = %d", p)
+	}
+	if Bandwidth(csr.New(5, 5)) != 0 {
+		t.Fatal("empty bandwidth not 0")
+	}
+}

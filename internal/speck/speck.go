@@ -1,0 +1,315 @@
+// Package speck implements the in-core GPU SpGEMM algorithm the
+// out-of-core framework invokes per chunk, following spECK (Parger et
+// al. [30]) as the paper's Section III-B describes:
+//
+//  1. Row analysis: compute per-row flops and worst-case output sizes.
+//  2. Host grouping: bin rows into groups by size class so each group
+//     can use a kernel configuration suited to its rows; rows with
+//     dense output use the dense accumulator, sparse rows the hash map.
+//  3. Symbolic kernels (one per group): count output row sizes.
+//  4. Numeric kernels (one per group): compute the values.
+//
+// The arithmetic is executed for real (the returned chunk is exact);
+// alongside it the package reports the simulated duration of each phase
+// from a cost model, which the out-of-core engine turns into simulated
+// kernel launches. Splitting "what is computed" from "when it runs" is
+// what lets the same phase results drive both the synchronous baseline
+// and the asynchronous pipeline.
+package speck
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/accum"
+	"repro/internal/csr"
+	"repro/internal/gpusim"
+)
+
+// CostModel converts per-group work into kernel durations.
+type CostModel struct {
+	// HashRate and DenseRate are numeric-phase throughputs (flops/s)
+	// for hash-accumulator and dense-accumulator kernels.
+	HashRate, DenseRate float64
+	// SymbolicFactor scales numeric cost to symbolic cost.
+	SymbolicFactor float64
+	// AnalysisFactor scales numeric cost to row-analysis cost.
+	AnalysisFactor float64
+}
+
+// ModelFromDevice extracts the cost model from a device configuration.
+func ModelFromDevice(cfg gpusim.DeviceConfig) CostModel {
+	return CostModel{
+		HashRate:       cfg.HashRate,
+		DenseRate:      cfg.DenseRate,
+		SymbolicFactor: cfg.SymbolicFactor,
+		AnalysisFactor: cfg.AnalysisFactor,
+	}
+}
+
+// GroupKind selects the accumulator a row group uses.
+type GroupKind int
+
+const (
+	// HashGroup rows accumulate into a hash map (sparse output rows).
+	HashGroup GroupKind = iota
+	// DenseGroup rows accumulate into a dense array (dense output rows).
+	DenseGroup
+)
+
+func (k GroupKind) String() string {
+	if k == DenseGroup {
+		return "dense"
+	}
+	return "hash"
+}
+
+// Group is a set of rows of the A panel sharing a size class and
+// accumulator kind; each group becomes one kernel launch.
+type Group struct {
+	Kind GroupKind
+	// SizeClass is ceil(log2) of the worst-case row size, the binning
+	// criterion.
+	SizeClass int
+	// Rows are indices into the A panel.
+	Rows []int32
+	// Flops is the total multiply-add flops of the group's rows.
+	Flops int64
+}
+
+// Result is the outcome of one chunk multiplication: the exact product
+// plus everything the out-of-core scheduler needs (sizes, groupings and
+// per-phase simulated durations).
+type Result struct {
+	// C is the exact chunk product with panel-local column ids.
+	C *csr.Matrix
+	// RowFlops and UpperBounds are the row-analysis outputs.
+	RowFlops    []int64
+	UpperBounds []int64
+	// Groups is the host-side row grouping.
+	Groups []Group
+	// Flops is the total flop count; HashFlops and DenseFlops split it
+	// by accumulator kind (the split also drives the CPU cost model).
+	Flops, HashFlops, DenseFlops int64
+
+	// AnalysisSec, SymbolicSec and NumericSec are the simulated kernel
+	// durations for the three phases.
+	AnalysisSec, SymbolicSec, NumericSec float64
+
+	// RowInfoBytes is the size of the row-analysis output transferred
+	// to the host; NnzInfoBytes the symbolic output; OutputBytes the
+	// size of the chunk's CSR arrays (the dominant D2H transfer).
+	RowInfoBytes, NnzInfoBytes, OutputBytes int64
+	// WorkspaceBytes models the device workspace (hash tables and
+	// dense accumulators) the kernels need while processing the chunk.
+	WorkspaceBytes int64
+}
+
+// denseCRThreshold: after the symbolic phase, a row is assigned to a
+// dense-accumulation numeric kernel when its flops are at least this
+// multiple of its output size, i.e. every output slot is hit several
+// times and the dense array amortizes. This mirrors the paper's
+// re-assignment of rows between the symbolic and numeric phases
+// (Figure 3) using the now-known output sizes.
+const denseCRThreshold = 8
+
+// maxConcurrentRows models how many rows' accumulators are live on the
+// device at once (one per SM in the kernel model); it sizes the
+// workspace requirement.
+const maxConcurrentRows = 80
+
+// Compute multiplies an A row panel by a B column panel (B given with
+// panel-local column ids) and returns the exact chunk product together
+// with phase costs under the model.
+func Compute(a, b *csr.Matrix, cm CostModel) (*Result, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("speck: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	res := &Result{
+		RowFlops:    csr.RowFlops(a, b),
+		UpperBounds: csr.RowUpperBounds(a, b),
+	}
+
+	// Symbolic phase: exact output row sizes. (spECK first bins rows by
+	// their upper bounds for the symbolic kernels; the binning only
+	// affects load balance, so the simulation folds symbolic cost into
+	// one factor and runs the counting directly.)
+	width := b.Cols
+	rowNnz := make([]int64, a.Rows)
+	hash := accum.NewHash(64)
+	var dense *accum.Dense
+	if width > 0 {
+		dense = accum.NewDense(width)
+	}
+	for r := 0; r < a.Rows; r++ {
+		if res.UpperBounds[r] == 0 {
+			continue
+		}
+		ac, _ := a.Row(r)
+		for _, k := range ac {
+			bc, _ := b.Row(int(k))
+			for _, col := range bc {
+				hash.AddSymbolic(col)
+			}
+		}
+		rowNnz[r] = int64(hash.FlushSymbolic())
+	}
+
+	// Host re-grouping for the numeric phase (the paper re-assigns rows
+	// once symbolic sizes are known): bin rows by (kind, size class),
+	// where kind is dense accumulation for rows whose flops-per-output
+	// ratio is high enough to amortize the dense array.
+	type key struct {
+		kind GroupKind
+		sc   int
+	}
+	bins := map[key]*Group{}
+	var order []key // deterministic group order: first appearance
+	for r := 0; r < a.Rows; r++ {
+		if res.UpperBounds[r] == 0 {
+			continue // empty output row: no kernel work
+		}
+		kind := HashGroup
+		if rowNnz[r] > 0 && res.RowFlops[r] >= denseCRThreshold*rowNnz[r] {
+			kind = DenseGroup
+		}
+		sc := bits.Len64(uint64(res.UpperBounds[r]))
+		k := key{kind, sc}
+		g, ok := bins[k]
+		if !ok {
+			g = &Group{Kind: kind, SizeClass: sc}
+			bins[k] = g
+			order = append(order, k)
+		}
+		g.Rows = append(g.Rows, int32(r))
+		g.Flops += res.RowFlops[r]
+		res.Flops += res.RowFlops[r]
+		if kind == DenseGroup {
+			res.DenseFlops += res.RowFlops[r]
+		} else {
+			res.HashFlops += res.RowFlops[r]
+		}
+	}
+	for _, k := range order {
+		res.Groups = append(res.Groups, *bins[k])
+	}
+
+	// Allocation: exact offsets from the symbolic counts.
+	c := &csr.Matrix{Rows: a.Rows, Cols: width, RowOffsets: make([]int64, a.Rows+1)}
+	for r := 0; r < a.Rows; r++ {
+		c.RowOffsets[r+1] = c.RowOffsets[r] + rowNnz[r]
+	}
+	nnz := c.RowOffsets[a.Rows]
+	c.ColIDs = make([]int32, nnz)
+	c.Data = make([]float64, nnz)
+
+	// Numeric phase: exact values, per group, written in place.
+	for _, g := range res.Groups {
+		acc := accum.Accumulator(hash)
+		if g.Kind == DenseGroup {
+			acc = dense
+		}
+		for _, r := range g.Rows {
+			ac, av := a.Row(int(r))
+			for p := range ac {
+				bc, bv := b.Row(int(ac[p]))
+				for q := range bc {
+					acc.Add(bc[q], av[p]*bv[q])
+				}
+			}
+			off, end := c.RowOffsets[r], c.RowOffsets[r+1]
+			acc.Flush(c.ColIDs[off:off:end], c.Data[off:off:end])
+		}
+	}
+	res.C = c
+
+	// Cost model.
+	var numeric float64
+	if cm.HashRate > 0 {
+		numeric += float64(res.HashFlops) / cm.HashRate
+	}
+	if cm.DenseRate > 0 {
+		numeric += float64(res.DenseFlops) / cm.DenseRate
+	}
+	res.NumericSec = numeric
+	res.SymbolicSec = numeric * cm.SymbolicFactor
+	res.AnalysisSec = numeric * cm.AnalysisFactor
+
+	// Transfer and workspace sizes.
+	res.RowInfoBytes = int64(a.Rows) * 16 // flops + upper bound per row
+	res.NnzInfoBytes = int64(a.Rows) * 8  // output row size per row
+	res.OutputBytes = c.Bytes()
+	res.WorkspaceBytes = workspaceBytes(res.UpperBounds, width)
+	return res, nil
+}
+
+// ClassifyFlops splits the flops of A·B into the hash-row and
+// dense-row shares under the same compression-ratio rule the kernels
+// use, so other cost models (e.g. the hybrid engine's CPU model) see
+// the same structure without running the full numeric computation. It
+// also reports the exact output non-zero count (a symbolic pass).
+func ClassifyFlops(a, b *csr.Matrix) (hashFlops, denseFlops, outNnz int64) {
+	rf := csr.RowFlops(a, b)
+	acc := accum.NewHash(64)
+	for i := 0; i < a.Rows; i++ {
+		if rf[i] == 0 {
+			continue
+		}
+		ac, _ := a.Row(i)
+		for _, k := range ac {
+			bc, _ := b.Row(int(k))
+			for _, col := range bc {
+				acc.AddSymbolic(col)
+			}
+		}
+		nnz := int64(acc.FlushSymbolic())
+		outNnz += nnz
+		if nnz > 0 && rf[i] >= denseCRThreshold*nnz {
+			denseFlops += rf[i]
+		} else {
+			hashFlops += rf[i]
+		}
+	}
+	return hashFlops, denseFlops, outNnz
+}
+
+// workspaceBytes estimates the device workspace: each of the
+// maxConcurrentRows in-flight rows holds an accumulator sized to its
+// worst case (capped at the panel width), 12 bytes per slot.
+func workspaceBytes(ub []int64, width int) int64 {
+	top := topK(ub, maxConcurrentRows)
+	var total int64
+	for _, u := range top {
+		if u > int64(width) {
+			u = int64(width)
+		}
+		total += u * 12
+	}
+	return total
+}
+
+// topK returns the k largest values of xs (k smallest-effort selection;
+// panel row counts are modest).
+func topK(xs []int64, k int) []int64 {
+	if k > len(xs) {
+		k = len(xs)
+	}
+	top := make([]int64, 0, k)
+	for _, x := range xs {
+		if len(top) < k {
+			top = append(top, x)
+			continue
+		}
+		// Replace the minimum if x is larger.
+		mi := 0
+		for i, t := range top {
+			if t < top[mi] {
+				mi = i
+			}
+		}
+		if x > top[mi] {
+			top[mi] = x
+		}
+	}
+	return top
+}

@@ -1,0 +1,163 @@
+// Package trace renders and analyzes simulated-execution timelines:
+// the Gantt-style schedules of the paper's Figures 5 and 6, and
+// per-lane utilization breakdowns.
+//
+// A timeline comes from internal/sim's span trace. Rendering is plain
+// text so schedules can be inspected in tests and printed by
+// cmd/spgemm-bench -exp=timeline.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Gantt renders the timeline as one row per lane, using width
+// character cells over the span [0, end of timeline]. Cells covered by
+// a span show '#'; idle cells '.'.
+func Gantt(tl []sim.Span, width int) string {
+	if len(tl) == 0 {
+		return "(empty timeline)\n"
+	}
+	var end sim.Time
+	lanes := map[string][]sim.Span{}
+	var order []string
+	for _, s := range tl {
+		if s.End > end {
+			end = s.End
+		}
+		if _, ok := lanes[s.Lane]; !ok {
+			order = append(order, s.Lane)
+		}
+		lanes[s.Lane] = append(lanes[s.Lane], s)
+	}
+	sort.Strings(order)
+	if end == 0 {
+		end = 1
+	}
+
+	var b strings.Builder
+	nameW := 0
+	for _, l := range order {
+		if len(l) > nameW {
+			nameW = len(l)
+		}
+	}
+	cell := func(lane string, i int) byte {
+		lo := sim.Time(int64(end) * int64(i) / int64(width))
+		hi := sim.Time(int64(end) * int64(i+1) / int64(width))
+		if hi == lo {
+			hi = lo + 1
+		}
+		for _, s := range lanes[lane] {
+			if s.Start < hi && s.End > lo {
+				return '#'
+			}
+		}
+		return '.'
+	}
+	for _, lane := range order {
+		fmt.Fprintf(&b, "%-*s |", nameW, lane)
+		for i := 0; i < width; i++ {
+			b.WriteByte(cell(lane, i))
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%-*s  0%*s\n", nameW, "", width-1, fmt.Sprintf("%.3fms", sim.SecondsAt(end)*1e3))
+	return b.String()
+}
+
+// Utilization reports, per lane, the busy time and its fraction of the
+// makespan.
+type Utilization struct {
+	Lane     string
+	Busy     sim.Duration
+	Fraction float64
+}
+
+// Utilizations computes the per-lane busy fractions of a timeline.
+func Utilizations(tl []sim.Span) []Utilization {
+	var end sim.Time
+	busy := map[string]sim.Duration{}
+	var order []string
+	for _, s := range tl {
+		if s.End > end {
+			end = s.End
+		}
+		if _, ok := busy[s.Lane]; !ok {
+			order = append(order, s.Lane)
+		}
+		busy[s.Lane] += sim.Duration(s.End - s.Start)
+	}
+	sort.Strings(order)
+	out := make([]Utilization, 0, len(order))
+	for _, lane := range order {
+		u := Utilization{Lane: lane, Busy: busy[lane]}
+		if end > 0 {
+			u.Fraction = float64(busy[lane]) / float64(end)
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// FprintUtilization writes a utilization table.
+func FprintUtilization(w io.Writer, tl []sim.Span) error {
+	for _, u := range Utilizations(tl) {
+		if _, err := fmt.Fprintf(w, "%-8s %8.3f ms  %5.1f%%\n", u.Lane, sim.SecondsOf(u.Busy)*1e3, u.Fraction*100); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LaneOrder returns the labels of one lane's spans in start-time order
+// — tests use it to assert the Figure 6 transfer schedule.
+func LaneOrder(tl []sim.Span, lane string) []string {
+	var spans []sim.Span
+	for _, s := range tl {
+		if s.Lane == lane {
+			spans = append(spans, s)
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// Overlap reports the total time during which both lanes were busy
+// simultaneously — the quantity asynchronous execution maximizes.
+func Overlap(tl []sim.Span, laneA, laneB string) sim.Duration {
+	var as, bs []sim.Span
+	for _, s := range tl {
+		switch s.Lane {
+		case laneA:
+			as = append(as, s)
+		case laneB:
+			bs = append(bs, s)
+		}
+	}
+	var total sim.Duration
+	for _, a := range as {
+		for _, b := range bs {
+			lo, hi := a.Start, a.End
+			if b.Start > lo {
+				lo = b.Start
+			}
+			if b.End < hi {
+				hi = b.End
+			}
+			if hi > lo {
+				total += sim.Duration(hi - lo)
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/matgen"
+	"repro/internal/sim"
+)
+
+func sampleTimeline() []sim.Span {
+	return []sim.Span{
+		{Start: 0, End: sim.Time(sim.Seconds(1)), Lane: "kernel", Label: "k0"},
+		{Start: sim.Time(sim.Seconds(1)), End: sim.Time(sim.Seconds(3)), Lane: "d2h", Label: "t0"},
+		{Start: sim.Time(sim.Seconds(2)), End: sim.Time(sim.Seconds(3)), Lane: "kernel", Label: "k1"},
+	}
+}
+
+func TestGantt(t *testing.T) {
+	g := Gantt(sampleTimeline(), 30)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 3 { // two lanes + axis
+		t.Fatalf("gantt lines:\n%s", g)
+	}
+	if !strings.HasPrefix(lines[0], "d2h") || !strings.HasPrefix(lines[1], "kernel") {
+		t.Fatalf("lane order wrong:\n%s", g)
+	}
+	// The kernel lane must be busy at the start, idle in the middle,
+	// busy at the end.
+	kernelRow := lines[1][strings.Index(lines[1], "|")+1:]
+	if kernelRow[0] != '#' || kernelRow[len("123456789012345")] != '.' {
+		t.Fatalf("kernel occupancy wrong: %q", kernelRow)
+	}
+	if Gantt(nil, 10) != "(empty timeline)\n" {
+		t.Fatal("empty timeline rendering wrong")
+	}
+}
+
+func TestUtilizations(t *testing.T) {
+	us := Utilizations(sampleTimeline())
+	if len(us) != 2 {
+		t.Fatalf("got %d lanes", len(us))
+	}
+	// makespan 3s: d2h busy 2s (2/3), kernel busy 2s (2/3).
+	for _, u := range us {
+		if u.Busy != sim.Seconds(2) {
+			t.Fatalf("%s busy %v", u.Lane, u.Busy)
+		}
+		if u.Fraction < 0.66 || u.Fraction > 0.67 {
+			t.Fatalf("%s fraction %v", u.Lane, u.Fraction)
+		}
+	}
+	var buf bytes.Buffer
+	if err := FprintUtilization(&buf, sampleTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "kernel") {
+		t.Fatalf("utilization table:\n%s", buf.String())
+	}
+}
+
+func TestLaneOrder(t *testing.T) {
+	order := LaneOrder(sampleTimeline(), "kernel")
+	if len(order) != 2 || order[0] != "k0" || order[1] != "k1" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	// kernel k1 [2,3] overlaps d2h t0 [1,3] for 1s.
+	if got := Overlap(sampleTimeline(), "kernel", "d2h"); got != sim.Seconds(1) {
+		t.Fatalf("overlap = %v", got)
+	}
+	if got := Overlap(sampleTimeline(), "kernel", "nothing"); got != 0 {
+		t.Fatalf("overlap with empty lane = %v", got)
+	}
+}
+
+// TestAsyncScheduleMatchesFigure6 is the schedule-correctness test of
+// the asynchronous pipeline: on the device-to-host engine, chunk i's
+// row-info transfer must be followed by chunk i-1's first output
+// portion, then chunk i's nnz info, then chunk i-1's second portion —
+// the numbered order of the paper's Figure 6.
+func TestAsyncScheduleMatchesFigure6(t *testing.T) {
+	a := matgen.RMAT(9, 8, 0.57, 0.19, 0.19, 55)
+	cfg := gpusim.ScaledV100Config(64 << 20)
+	_, _, tl, err := core.RunTraced(a, a, cfg, core.Options{RowPanels: 1, ColPanels: 3, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := LaneOrder(tl, "d2h")
+	want := []string{
+		"row info c0",
+		"nnz info c0",
+		"row info c1",
+		"output p1 c0", // overlaps symbolic of c1
+		"nnz info c1",
+		"output p2 c0", // overlaps numeric of c1
+		"row info c2",
+		"output p1 c1",
+		"nnz info c2",
+		"output p2 c1",
+		"output p1 c2",
+		"output p2 c2",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("d2h schedule has %d transfers, want %d:\n%v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("d2h schedule position %d = %q, want %q\nfull: %v", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestAsyncOverlapExceedsSync verifies the async pipeline actually
+// overlaps kernels with device-to-host transfers while the synchronous
+// baseline does not.
+func TestAsyncOverlapExceedsSync(t *testing.T) {
+	a := matgen.RMAT(10, 10, 0.57, 0.19, 0.19, 56)
+	cfg := gpusim.ScaledV100Config(128 << 20)
+
+	_, _, syncTl, err := core.RunTraced(a, a, cfg, core.Options{RowPanels: 3, ColPanels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, asyncTl, err := core.RunTraced(a, a, cfg, core.Options{RowPanels: 3, ColPanels: 3, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncOv := Overlap(syncTl, "kernel", "d2h")
+	asyncOv := Overlap(asyncTl, "kernel", "d2h")
+	if syncOv != 0 {
+		t.Fatalf("synchronous run overlapped kernels with D2H for %v", syncOv)
+	}
+	if asyncOv == 0 {
+		t.Fatal("asynchronous run achieved no kernel/D2H overlap")
+	}
+}
+
+func TestGanttOnRealRun(t *testing.T) {
+	a := matgen.Band(400, 3, 57)
+	cfg := gpusim.ScaledV100Config(32 << 20)
+	_, _, tl, err := core.RunTraced(a, a, cfg, core.Options{RowPanels: 2, ColPanels: 2, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Gantt(tl, 60)
+	for _, lane := range []string{"kernel", "d2h", "h2d"} {
+		if !strings.Contains(g, lane) {
+			t.Fatalf("gantt missing lane %s:\n%s", lane, g)
+		}
+	}
+	// Smoke the formatting helpers on the real data too.
+	var buf bytes.Buffer
+	if err := FprintUtilization(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	if testing.Verbose() {
+		fmt.Println(g)
+		fmt.Println(buf.String())
+	}
+}

@@ -1,0 +1,28 @@
+package amg_test
+
+import (
+	"fmt"
+
+	"repro/spgemm"
+	"repro/spgemm/amg"
+)
+
+// ExampleBuild constructs a multigrid hierarchy for a 2-D Laplacian
+// and solves a Poisson problem with V-cycles. The Galerkin coarse
+// operators are built with SpGEMM.
+func ExampleBuild() {
+	a := spgemm.Stencil2D(24, 24).Clone()
+	a.Data[0] += 1 // pin the singular Neumann operator
+
+	h, _ := amg.Build(a, amg.Options{})
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	_, rel, _, _ := h.Solve(b, 1e-8, 60)
+	fmt.Println("levels >= 2:", len(h.Levels) >= 2)
+	fmt.Println("converged:", rel < 1e-8)
+	// Output:
+	// levels >= 2: true
+	// converged: true
+}

@@ -1,0 +1,23 @@
+package spgemm
+
+import "repro/internal/matgen"
+
+// RMAT generates a scale-free directed graph adjacency matrix with
+// 2^scale vertices and about edgeFactor edges per vertex (recursive
+// R-MAT with quadrant probabilities a, b, c; d = 1-a-b-c).
+func RMAT(scale uint, edgeFactor int, a, b, c float64, seed int64) *Matrix {
+	return matgen.RMAT(scale, edgeFactor, a, b, c, seed)
+}
+
+// Band generates an n x n banded matrix with the given half-bandwidth,
+// modeling regular PDE/optimization matrices.
+func Band(n, half int, seed int64) *Matrix { return matgen.Band(n, half, seed) }
+
+// Stencil2D generates the 5-point Laplacian on a gx x gy grid.
+func Stencil2D(gx, gy int) *Matrix { return matgen.Stencil2D(gx, gy) }
+
+// ER generates an Erdős–Rényi random matrix with density p.
+func ER(rows, cols int, p float64, seed int64) *Matrix { return matgen.ER(rows, cols, p, seed) }
+
+// BlockDiag generates nblocks dense diagonal blocks of size bs.
+func BlockDiag(nblocks, bs int, seed int64) *Matrix { return matgen.BlockDiag(nblocks, bs, seed) }

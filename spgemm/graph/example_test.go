@@ -1,0 +1,41 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"repro/spgemm"
+	"repro/spgemm/graph"
+)
+
+// ExampleTriangles counts the triangles of K4 via masked SpGEMM.
+func ExampleTriangles() {
+	var es []spgemm.Entry
+	for u := int32(0); u < 4; u++ {
+		for v := int32(0); v < 4; v++ {
+			if u != v {
+				es = append(es, spgemm.Entry{Row: u, Col: v, Val: 1})
+			}
+		}
+	}
+	k4, _ := spgemm.FromEntries(4, 4, es)
+	tri, _ := graph.Triangles(k4, nil)
+	fmt.Println(tri)
+	// Output: 4
+}
+
+// ExampleMCL clusters two disjoint triangles.
+func ExampleMCL() {
+	edges := [][2]int32{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}
+	var es []spgemm.Entry
+	for _, e := range edges {
+		es = append(es, spgemm.Entry{Row: e[0], Col: e[1], Val: 1},
+			spgemm.Entry{Row: e[1], Col: e[0], Val: 1})
+	}
+	adj, _ := spgemm.FromEntries(6, 6, es)
+	res, _ := graph.MCL(adj, graph.MCLOptions{})
+	fmt.Println("clusters:", res.NumClusters)
+	fmt.Println("sizes:", graph.ClusterSizes(res))
+	// Output:
+	// clusters: 2
+	// sizes: [3 3]
+}

@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/csr"
+)
+
+// PageRank computes the PageRank vector of a directed graph by power
+// iteration with damping factor d: r ← (1-d)/n + d·Aᵀ_norm·r, where
+// A_norm is the out-degree-normalized adjacency. Dangling nodes
+// redistribute their mass uniformly. It returns the ranks, the
+// iteration count, and the final residual.
+func PageRank(adj *csr.Matrix, damping, tol float64, maxIters int) ([]float64, int, float64, error) {
+	if adj.Rows != adj.Cols {
+		return nil, 0, 0, fmt.Errorf("graph: adjacency must be square, got %dx%d", adj.Rows, adj.Cols)
+	}
+	if damping <= 0 || damping >= 1 {
+		damping = 0.85
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIters <= 0 {
+		maxIters = 200
+	}
+	n := adj.Rows
+	if n == 0 {
+		return nil, 0, 0, nil
+	}
+
+	// Column-normalized transpose: T[j][i] = A[i][j]/outdeg(i), so
+	// r_new = T·r is one CSR SpMV.
+	outdeg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		_, vals := adj.Row(i)
+		for _, v := range vals {
+			outdeg[i] += v
+		}
+	}
+	t := adj.Transpose()
+	for r := 0; r < t.Rows; r++ {
+		cols, _ := t.Row(r)
+		lo := t.RowOffsets[r]
+		for k := range cols {
+			t.Data[lo+int64(k)] /= outdeg[cols[k]]
+		}
+	}
+
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1.0 / float64(n)
+	}
+	next := make([]float64, n)
+	var residual float64
+	for iter := 1; iter <= maxIters; iter++ {
+		// Dangling mass: nodes without out-edges spread uniformly.
+		var dangling float64
+		for i := 0; i < n; i++ {
+			if outdeg[i] == 0 {
+				dangling += rank[i]
+			}
+		}
+		if err := t.MulVec(rank, next); err != nil {
+			return nil, iter, 0, err
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		residual = 0
+		for i := 0; i < n; i++ {
+			v := base + damping*next[i]
+			residual += math.Abs(v - rank[i])
+			next[i] = v
+		}
+		rank, next = next, rank
+		if residual < tol {
+			return rank, iter, residual, nil
+		}
+	}
+	return rank, maxIters, residual, nil
+}
+
+// BFS returns the hop distance from src to every vertex (-1 when
+// unreachable), computed level by level with sparse frontier
+// propagation over the adjacency structure — the linear-algebra view
+// of breadth-first search (a boolean SpMSpV per level).
+func BFS(adj *csr.Matrix, src int) ([]int, error) {
+	if adj.Rows != adj.Cols {
+		return nil, fmt.Errorf("graph: adjacency must be square, got %dx%d", adj.Rows, adj.Cols)
+	}
+	if src < 0 || src >= adj.Rows {
+		return nil, fmt.Errorf("graph: source %d outside %d vertices", src, adj.Rows)
+	}
+	dist := make([]int, adj.Rows)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []int32{int32(src)}
+	for level := 1; len(frontier) > 0; level++ {
+		var next []int32
+		for _, u := range frontier {
+			cols, _ := adj.Row(int(u))
+			for _, v := range cols {
+				if dist[v] == -1 {
+					dist[v] = level
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist, nil
+}

@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/csr"
+)
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// A directed cycle: perfectly symmetric, so every rank is 1/n.
+	n := 10
+	var es []csr.Entry
+	for i := 0; i < n; i++ {
+		es = append(es, csr.Entry{Row: int32(i), Col: int32((i + 1) % n), Val: 1})
+	}
+	adj, _ := csr.FromEntries(n, n, es)
+	rank, iters, res, err := PageRank(adj, 0.85, 1e-12, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rank {
+		if math.Abs(r-0.1) > 1e-9 {
+			t.Fatalf("rank[%d] = %v, want 0.1 (iters %d res %.2e)", i, r, iters, res)
+		}
+	}
+}
+
+func TestPageRankSumsToOneAndOrdersHub(t *testing.T) {
+	// A star: everyone links to vertex 0; 0 links to 1.
+	n := 8
+	var es []csr.Entry
+	for i := 1; i < n; i++ {
+		es = append(es, csr.Entry{Row: int32(i), Col: 0, Val: 1})
+	}
+	es = append(es, csr.Entry{Row: 0, Col: 1, Val: 1})
+	adj, _ := csr.FromEntries(n, n, es)
+	rank, _, _, err := PageRank(adj, 0.85, 1e-12, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+	for i := 2; i < n; i++ {
+		if rank[0] <= rank[i] {
+			t.Fatalf("hub rank %v not above leaf %v", rank[0], rank[i])
+		}
+	}
+	// Vertex 1 receives all of the hub's mass: second highest.
+	if rank[1] <= rank[2] {
+		t.Fatalf("rank[1]=%v not above leaf %v", rank[1], rank[2])
+	}
+}
+
+func TestPageRankDanglingNodes(t *testing.T) {
+	// 0 -> 1, 1 dangling: mass must not leak (sum stays 1).
+	adj, _ := csr.FromEntries(3, 3, []csr.Entry{{Row: 0, Col: 1, Val: 1}})
+	rank, _, _, err := PageRank(adj, 0.85, 1e-12, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ranks sum to %v with dangling nodes", sum)
+	}
+	if rank[1] <= rank[0] {
+		t.Fatal("linked-to vertex not ranked above its source")
+	}
+}
+
+func TestPageRankErrors(t *testing.T) {
+	if _, _, _, err := PageRank(csr.New(3, 4), 0.85, 1e-9, 10); err == nil {
+		t.Fatal("expected non-square error")
+	}
+	if rank, _, _, err := PageRank(csr.New(0, 0), 0.85, 1e-9, 10); err != nil || rank != nil {
+		t.Fatal("empty graph should be a trivial success")
+	}
+}
+
+func TestBFSPathAndUnreachable(t *testing.T) {
+	// 0 -> 1 -> 2, 3 isolated.
+	adj, _ := csr.FromEntries(4, 4, []csr.Entry{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 2, Val: 1},
+	})
+	dist, err := BFS(adj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, -1}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist = %v, want %v", dist, want)
+		}
+	}
+}
+
+func TestBFSAgainstAPSPHops(t *testing.T) {
+	// BFS levels on the planted-partition graph must match unweighted
+	// shortest hop counts computed by brute-force relaxation.
+	adj, _ := plantedPartition(t, 2, 10, 9)
+	dist, err := BFS(adj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bellman-Ford reference over unit weights.
+	n := adj.Rows
+	ref := make([]int, n)
+	for i := range ref {
+		ref[i] = 1 << 30
+	}
+	ref[0] = 0
+	for round := 0; round < n; round++ {
+		for u := 0; u < n; u++ {
+			if ref[u] == 1<<30 {
+				continue
+			}
+			cols, _ := adj.Row(u)
+			for _, v := range cols {
+				if ref[u]+1 < ref[v] {
+					ref[v] = ref[u] + 1
+				}
+			}
+		}
+	}
+	for i := range ref {
+		want := ref[i]
+		if want == 1<<30 {
+			want = -1
+		}
+		if dist[i] != want {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], want)
+		}
+	}
+}
+
+func TestBFSErrors(t *testing.T) {
+	if _, err := BFS(csr.New(3, 4), 0); err == nil {
+		t.Fatal("expected non-square error")
+	}
+	if _, err := BFS(csr.New(3, 3), 7); err == nil {
+		t.Fatal("expected out-of-range source error")
+	}
+}

@@ -1,0 +1,32 @@
+package semiring_test
+
+import (
+	"fmt"
+
+	"repro/spgemm"
+	"repro/spgemm/semiring"
+)
+
+// ExampleMultiply relaxes 2-hop shortest paths with the tropical
+// (min, +) semiring.
+func ExampleMultiply() {
+	a, _ := spgemm.FromEntries(3, 3, []spgemm.Entry{
+		{Row: 0, Col: 1, Val: 1.5}, {Row: 1, Col: 2, Val: 2.5},
+	})
+	p, _ := semiring.Multiply(a, a, semiring.MinPlus(), 1)
+	cols, vals := p.Row(0)
+	fmt.Println(cols, vals)
+	// Output: [2] [4]
+}
+
+// ExampleAPSP computes all-pairs shortest paths on a weighted path
+// graph by min-plus squaring.
+func ExampleAPSP() {
+	a, _ := spgemm.FromEntries(4, 4, []spgemm.Entry{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 2, Val: 2}, {Row: 2, Col: 3, Val: 3},
+	})
+	d, _ := semiring.APSP(a, 1)
+	cols, vals := d.Row(0)
+	fmt.Println(cols, vals)
+	// Output: [0 1 2 3] [0 1 3 6]
+}

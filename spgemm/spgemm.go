@@ -1,0 +1,264 @@
+// Package spgemm is the public API of the out-of-core CPU-GPU SpGEMM
+// framework: sparse matrix-matrix multiplication for products that do
+// not fit in (simulated) GPU memory, after "Scaling Sparse Matrix
+// Multiplication on CPU-GPU Nodes" (Xia, Jiang, Agrawal, Ramnath —
+// IPDPS 2021).
+//
+// Three engines are exposed:
+//
+//   - MultiplyCPU: real multi-core two-phase hash SpGEMM (the paper's
+//     CPU baseline, after Nagasaka et al.).
+//   - MultiplyOutOfCore: the paper's out-of-core GPU framework on a
+//     simulated V100-class device, with the synchronous baseline and
+//     the asynchronous pre-allocated pipeline.
+//   - MultiplyHybrid: the CPU-GPU hybrid with flop-sorted chunk
+//     distribution.
+//
+// All engines return numerically exact products; the GPU and hybrid
+// engines additionally report simulated-time statistics under the
+// device's cost model. See the examples directory for usage.
+package spgemm
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpuspgemm"
+	"repro/internal/csr"
+	"repro/internal/gpusim"
+	"repro/internal/hybrid"
+	"repro/internal/mmio"
+	"repro/internal/multigpu"
+	"repro/internal/reorder"
+	"repro/internal/speck"
+	"repro/internal/summa"
+)
+
+// Matrix is a sparse matrix in compressed sparse row form.
+type Matrix = csr.Matrix
+
+// Entry is a coordinate-format non-zero used to build matrices.
+type Entry = csr.Entry
+
+// NewMatrix creates an empty rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return csr.New(rows, cols) }
+
+// FromEntries builds a matrix from coordinate triplets, summing
+// duplicates.
+func FromEntries(rows, cols int, entries []Entry) (*Matrix, error) {
+	return csr.FromEntries(rows, cols, entries)
+}
+
+// Equal reports whether two matrices match within tol.
+func Equal(a, b *Matrix, tol float64) bool { return csr.Equal(a, b, tol) }
+
+// Flops reports the multiply-add flop count (x2) of computing A·B.
+func Flops(a, b *Matrix) int64 { return csr.Flops(a, b) }
+
+// ReadMatrixMarket loads a .mtx (optionally gzipped) file.
+func ReadMatrixMarket(path string) (*Matrix, error) { return mmio.ReadFile(path) }
+
+// WriteMatrixMarket writes a .mtx (optionally gzipped) file.
+func WriteMatrixMarket(path string, m *Matrix) error { return mmio.WriteFile(path, m) }
+
+// DeviceConfig describes the simulated GPU and its cost model.
+type DeviceConfig = gpusim.DeviceConfig
+
+// V100 returns the calibrated Tesla V100 device model (Table I of the
+// paper).
+func V100() DeviceConfig { return gpusim.V100Config() }
+
+// V100WithMemory returns the V100 model with a different device-memory
+// capacity, used to study out-of-core behaviour at small scales.
+func V100WithMemory(bytes int64) DeviceConfig { return gpusim.ScaledV100Config(bytes) }
+
+// OutOfCoreOptions configures the out-of-core GPU engine; see
+// core.Options for the fields (chunk grid, Async, Reorder, ...).
+type OutOfCoreOptions = core.Options
+
+// Stats reports simulated-time statistics of an out-of-core run.
+type Stats = core.Stats
+
+// HybridOptions configures the CPU-GPU hybrid engine.
+type HybridOptions = hybrid.Options
+
+// HybridStats extends Stats with the device split.
+type HybridStats = hybrid.Stats
+
+// HostModel is the simulated multi-core CPU cost model.
+type HostModel = hybrid.HostModel
+
+// validateInputs rejects structurally corrupt matrices at the API
+// boundary, where the cost (one O(nnz) scan per operand) is paid once
+// rather than as a crash deep inside an engine.
+func validateInputs(a, b *Matrix) error {
+	if err := a.Validate(); err != nil {
+		return fmt.Errorf("spgemm: left operand invalid: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("spgemm: right operand invalid: %w", err)
+	}
+	return nil
+}
+
+// MultiplyCPU computes A·B on the real multi-core CPU engine with
+// threads worker goroutines (0 = GOMAXPROCS).
+func MultiplyCPU(a, b *Matrix, threads int) (*Matrix, error) {
+	if err := validateInputs(a, b); err != nil {
+		return nil, err
+	}
+	return cpuspgemm.Multiply(a, b, cpuspgemm.Options{Threads: threads})
+}
+
+// Multiply computes A·B with the default engine (multi-core CPU).
+func Multiply(a, b *Matrix) (*Matrix, error) { return MultiplyCPU(a, b, 0) }
+
+// MultiplyOutOfCore computes A·B with the out-of-core GPU framework on
+// a simulated device, returning the exact product and the simulated
+// statistics.
+func MultiplyOutOfCore(a, b *Matrix, cfg DeviceConfig, opts OutOfCoreOptions) (*Matrix, Stats, error) {
+	if err := validateInputs(a, b); err != nil {
+		return nil, Stats{}, err
+	}
+	return core.Run(a, b, cfg, opts)
+}
+
+// MultiplyHybrid computes A·B with the CPU-GPU hybrid engine.
+func MultiplyHybrid(a, b *Matrix, cfg DeviceConfig, opts HybridOptions) (*Matrix, HybridStats, error) {
+	if err := validateInputs(a, b); err != nil {
+		return nil, HybridStats{}, err
+	}
+	return hybrid.Run(a, b, cfg, opts)
+}
+
+// Plan chooses a chunk grid for the out-of-core engine: the smallest
+// grid whose double-buffered pipeline fits the device memory, assuming
+// chunk outputs up to skew x the average (graph matrices concentrate
+// output in hub chunks). It runs a symbolic pass to size the output
+// exactly.
+func Plan(a, b *Matrix, cfg DeviceConfig) (OutOfCoreOptions, error) {
+	if a.Cols != b.Rows {
+		return OutOfCoreOptions{}, fmt.Errorf("spgemm: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	_, _, outNnz := speck.ClassifyFlops(a, b)
+	outBytes := outNnz*12 + int64(a.Rows+1)*8
+	inputs := a.Bytes() + b.Bytes()
+	// Workspace and per-chunk row-info margins.
+	margin := inputs/4 + int64(a.Rows)*24 + (1 << 16)
+	avail := cfg.MemoryBytes - inputs - margin
+	if avail <= 0 {
+		return OutOfCoreOptions{}, fmt.Errorf("spgemm: device memory %d too small for inputs (%d) + margin (%d)",
+			cfg.MemoryBytes, inputs, margin)
+	}
+	const skew = 4
+	// Need 2 output slots of up to skew*outBytes/chunks each.
+	chunks := int(2*skew*outBytes/avail) + 1
+	if chunks < 1 {
+		chunks = 1
+	}
+	opts := OutOfCoreOptions{Async: true, Reorder: true}
+	opts.RowPanels, opts.ColPanels = gridFor(chunks, a.Rows, b.Cols)
+	return opts, nil
+}
+
+// gridFor factors a chunk budget into a near-square grid bounded by
+// the matrix dimensions.
+func gridFor(chunks, rows, cols int) (r, c int) {
+	r, c = 1, 1
+	for r*c < chunks {
+		// Grow the dimension that keeps the grid square-ish and legal.
+		if (r <= c || c >= cols) && r < rows {
+			r++
+		} else if c < cols {
+			c++
+		} else {
+			break
+		}
+	}
+	return r, c
+}
+
+// MultiGPUOptions configures the multi-GPU extension engine.
+type MultiGPUOptions = multigpu.Options
+
+// MultiGPUStats reports a multi-GPU run.
+type MultiGPUStats = multigpu.Stats
+
+// MultiplyMultiGPU computes A·B across several simulated GPUs (plus
+// optionally the CPU) — the scaling extension beyond the paper's
+// single-GPU node.
+func MultiplyMultiGPU(a, b *Matrix, cfg DeviceConfig, opts MultiGPUOptions) (*Matrix, MultiGPUStats, error) {
+	return multigpu.Run(a, b, cfg, opts)
+}
+
+// SUMMAConfig configures the distributed sparse-SUMMA engine.
+type SUMMAConfig = summa.Config
+
+// SUMMAStats reports a distributed run.
+type SUMMAStats = summa.Stats
+
+// MultiplySUMMA computes A·B with 2-D sparse SUMMA on a simulated
+// cluster of Q x Q nodes — the distributed-memory counterpart of the
+// out-of-core single-node framework (the paper's reference [33]).
+func MultiplySUMMA(a, b *Matrix, cfg SUMMAConfig) (*Matrix, SUMMAStats, error) {
+	return summa.Run(a, b, cfg)
+}
+
+// MultiplyAuto multiplies A·B out-of-core, planning the chunk grid
+// automatically and refining it (up to a few retries) if a chunk turns
+// out not to fit the device arena — the situation the paper notes when
+// "certain chunks are extremely dense and require large allocation".
+func MultiplyAuto(a, b *Matrix, cfg DeviceConfig) (*Matrix, Stats, error) {
+	opts, err := Plan(a, b, cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		c, st, err := MultiplyOutOfCore(a, b, cfg, opts)
+		if err == nil {
+			return c, st, nil
+		}
+		lastErr = err
+		// Refine: more chunks shrink every per-chunk allocation.
+		if opts.RowPanels*2 <= a.Rows {
+			opts.RowPanels *= 2
+		} else if opts.ColPanels*2 <= b.Cols {
+			opts.ColPanels *= 2
+		} else {
+			break
+		}
+	}
+	return nil, Stats{}, fmt.Errorf("spgemm: no chunk grid fits the device: %w", lastErr)
+}
+
+// RCM computes the reverse Cuthill-McKee bandwidth-reducing permutation
+// of a square matrix's sparsity graph (perm[new] = old). Reordering
+// inputs concentrates the out-of-core chunk grid's work near the
+// diagonal (see the locality ablation in EXPERIMENTS.md).
+func RCM(a *Matrix) ([]int32, error) { return reorder.RCM(a) }
+
+// Permute applies a symmetric permutation P·A·Pᵀ.
+func Permute(a *Matrix, perm []int32) (*Matrix, error) { return reorder.Permute(a, perm) }
+
+// Bandwidth reports max |i-j| over the stored entries.
+func Bandwidth(a *Matrix) int { return reorder.Bandwidth(a) }
+
+// MultiplyCPUMerge computes A·B with k-way merge accumulation
+// (RMerge-style), the third accumulation family of the paper's related
+// work.
+func MultiplyCPUMerge(a, b *Matrix, threads int) (*Matrix, error) {
+	if err := validateInputs(a, b); err != nil {
+		return nil, err
+	}
+	return cpuspgemm.MultiplyMerge(a, b, threads)
+}
+
+// MultiplyCPUOuter computes A·B with the outer-product (column-row)
+// formulation of the paper's Section II-B taxonomy.
+func MultiplyCPUOuter(a, b *Matrix, threads int) (*Matrix, error) {
+	if err := validateInputs(a, b); err != nil {
+		return nil, err
+	}
+	return cpuspgemm.OuterProduct(a, b, threads)
+}
