@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments to run (table1,table2,fig4,fig7,fig8,fig9,fig10,table3,scaling,distributed,gridsweep,ablation-ub,ablation-um,ablation-split,timeline,all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiments to run (cpu,table1,table2,fig4,fig7,fig8,fig9,fig10,table3,scaling,distributed,gridsweep,ablation-ub,ablation-um,ablation-split,timeline,all)")
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 	flag.Parse()
 
@@ -33,6 +34,20 @@ func main() {
 	}
 	all := want["all"]
 	pick := func(name string) bool { return all || want[name] }
+
+	// The CPU engine benchmark needs no suite preparation, so run it
+	// before the (expensive) Suite call and exit early if it is the
+	// only experiment requested.
+	ran := 0
+	if pick("cpu") {
+		if err := runCPUBench(*csvDir); err != nil {
+			fail(err)
+		}
+		ran++
+		if !all && len(want) == 1 {
+			return
+		}
+	}
 
 	runs, err := exp.Suite()
 	if err != nil {
@@ -64,7 +79,6 @@ func main() {
 		{"phases", func() (*exp.Table, error) { return exp.PhaseBreakdown(runs) }},
 	}
 
-	ran := 0
 	if pick("timeline") {
 		if err := printTimeline(runs); err != nil {
 			fail(err)
@@ -92,6 +106,31 @@ func main() {
 	if ran == 0 {
 		fail(fmt.Errorf("no experiment matches %q", *expFlag))
 	}
+}
+
+// runCPUBench times every real CPU engine plus chunk assembly,
+// prints the table and writes the machine-readable BENCH_cpu.json
+// next to the working directory (and a CSV if -csv is set).
+func runCPUBench(csvDir string) error {
+	t, rep, err := exp.CPUBench()
+	if err != nil {
+		return err
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_cpu.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_cpu.json")
+	if csvDir != "" {
+		return writeCSV(csvDir, "cpu", t)
+	}
+	return nil
 }
 
 // printTimeline renders the Figure 5/6-style schedules: the first

@@ -1,0 +1,112 @@
+package accum
+
+import "sync"
+
+// Accumulator pooling. The SpGEMM survey literature identifies per-row
+// accumulator allocation churn as a recurring CPU bottleneck: a
+// two-phase engine that allocates one accumulator per worker per phase
+// per call rebuilds the same hash tables and dense arrays over and
+// over. These pools recycle accumulators across rows, phases,
+// Multiply calls and engines (the hybrid CPU worker multiplies many
+// chunks in a row, hitting the same pooled tables each time).
+// sync.Pool keeps per-P caches, so Get/Put on the hot path almost
+// never contends.
+//
+// Accumulators returned by the Get functions are empty; Put resets
+// before pooling so a pooled accumulator never leaks a previous row.
+
+var (
+	hashPool  = sync.Pool{New: func() any { return NewHash(16) }}
+	densePool = sync.Pool{New: func() any { return NewDense(0) }}
+	sortPool  = sync.Pool{New: func() any { return NewSort(16) }}
+)
+
+// GetHash returns an empty pooled hash accumulator able to hold at
+// least capacity distinct columns before growing.
+func GetHash(capacity int) *Hash {
+	h := hashPool.Get().(*Hash)
+	h.Grow(capacity)
+	return h
+}
+
+// PutHash resets h and returns it to the pool. The caller must not use
+// h afterwards.
+func PutHash(h *Hash) {
+	h.Reset()
+	hashPool.Put(h)
+}
+
+// GetDense returns an empty pooled dense accumulator covering columns
+// [0, width).
+func GetDense(width int) *Dense {
+	d := densePool.Get().(*Dense)
+	d.Grow(width)
+	return d
+}
+
+// PutDense resets d and returns it to the pool.
+func PutDense(d *Dense) {
+	d.Reset()
+	densePool.Put(d)
+}
+
+// GetSort returns an empty pooled ESC accumulator with at least the
+// given expansion capacity.
+func GetSort(capacity int) *Sort {
+	s := sortPool.Get().(*Sort)
+	s.Grow(capacity)
+	return s
+}
+
+// PutSort resets s and returns it to the pool.
+func PutSort(s *Sort) {
+	s.Reset()
+	sortPool.Put(s)
+}
+
+// Put returns any accumulator obtained from a Get function to its
+// pool. Unknown implementations are dropped.
+func Put(a Accumulator) {
+	switch acc := a.(type) {
+	case *Hash:
+		PutHash(acc)
+	case *Dense:
+		PutDense(acc)
+	case *Sort:
+		PutSort(acc)
+	}
+}
+
+// Grow resizes the table so at least capacity distinct columns fit
+// before rehashing. It must only be called on an empty accumulator
+// (freshly constructed or after Reset).
+func (h *Hash) Grow(capacity int) {
+	need := 16
+	for need < capacity*2 {
+		need <<= 1
+	}
+	if len(h.keys) < need {
+		h.init(capacity)
+	}
+}
+
+// Grow widens the accumulator to cover columns [0, width). It must
+// only be called on an empty accumulator.
+func (d *Dense) Grow(width int) {
+	if len(d.vals) >= width {
+		return
+	}
+	d.vals = make([]float64, width)
+	d.stamp = make([]uint32, width)
+	d.gen = 1
+	d.touched = d.touched[:0]
+}
+
+// Grow reserves expansion capacity. It must only be called on an empty
+// accumulator.
+func (s *Sort) Grow(capacity int) {
+	if cap(s.cols) < capacity {
+		s.cols = make([]int32, 0, capacity)
+		s.vals = make([]float64, 0, capacity)
+	}
+}

@@ -1,0 +1,99 @@
+package accum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fillAndFlush pushes pairs through an accumulator and returns the
+// flushed row.
+func fillAndFlush(a Accumulator, cols []int32, vals []float64) ([]int32, []float64) {
+	for i := range cols {
+		a.Add(cols[i], vals[i])
+	}
+	return a.Flush(nil, nil)
+}
+
+func TestPooledAccumulatorsAreEmptyAndCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for round := 0; round < 20; round++ {
+		n := 1 + rng.Intn(200)
+		cols := make([]int32, n)
+		vals := make([]float64, n)
+		for i := range cols {
+			cols[i] = int32(rng.Intn(64))
+			vals[i] = rng.NormFloat64()
+		}
+		want := map[int32]float64{}
+		for i := range cols {
+			want[cols[i]] += vals[i]
+		}
+		for _, get := range []func() Accumulator{
+			func() Accumulator { return GetHash(n) },
+			func() Accumulator { return GetDense(64) },
+			func() Accumulator { return GetSort(n) },
+		} {
+			a := get()
+			if a.Len() != 0 {
+				t.Fatalf("round %d: pooled accumulator not empty: %d", round, a.Len())
+			}
+			gc, gv := fillAndFlush(a, cols, vals)
+			if len(gc) != len(want) {
+				t.Fatalf("round %d: %d distinct, want %d", round, len(gc), len(want))
+			}
+			for i := range gc {
+				if i > 0 && gc[i] <= gc[i-1] {
+					t.Fatalf("round %d: output not sorted", round)
+				}
+				if d := gv[i] - want[gc[i]]; d > 1e-12 || d < -1e-12 {
+					t.Fatalf("round %d: col %d = %g, want %g", round, gc[i], gv[i], want[gc[i]])
+				}
+			}
+			Put(a)
+		}
+	}
+}
+
+func TestHashGrowPreservesEmptyInvariant(t *testing.T) {
+	h := GetHash(4)
+	h.Add(7, 1)
+	h.Reset()
+	h.Grow(10000)
+	if h.Len() != 0 {
+		t.Fatal("grown accumulator not empty")
+	}
+	h.Add(9999, 2)
+	c, v := h.Flush(nil, nil)
+	if len(c) != 1 || c[0] != 9999 || v[0] != 2 {
+		t.Fatalf("after grow: %v %v", c, v)
+	}
+	PutHash(h)
+}
+
+func TestDenseGrowWidens(t *testing.T) {
+	d := GetDense(4)
+	PutDense(d)
+	d = GetDense(1000)
+	if d.Width() < 1000 {
+		t.Fatalf("width %d after Grow(1000)", d.Width())
+	}
+	d.Add(999, 1.5)
+	c, v := d.Flush(nil, nil)
+	if len(c) != 1 || c[0] != 999 || v[0] != 1.5 {
+		t.Fatalf("dense after grow: %v %v", c, v)
+	}
+	PutDense(d)
+}
+
+func TestSortGrowReserves(t *testing.T) {
+	s := GetSort(8)
+	s.Grow(4096)
+	if cap(s.cols) < 4096 {
+		t.Fatalf("cap %d after Grow(4096)", cap(s.cols))
+	}
+	PutSort(s)
+}
+
+func TestPutDropsUnknownImplementations(t *testing.T) {
+	Put(nil) // must not panic
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/csr"
+	"repro/internal/parallel"
 	"repro/internal/speck"
 )
 
@@ -29,52 +30,83 @@ func (e *Engine) Assemble() (*csr.Matrix, error) {
 // chunk matrices. chunk(r,c) returns the chunk of row panel r and
 // column panel c (panel-local columns); rowStart and colStart give the
 // global offsets of each panel.
+//
+// Assembly is the sequential tail of every out-of-core, hybrid and
+// multi-GPU run, so both passes run row-parallel on the shared
+// runtime: every output row is owned by exactly one goroutine (its
+// chunks cover disjoint column ranges), and the row-offset array comes
+// from a parallel prefix sum.
 func AssembleChunks(rows, cols, numRow, numCol int,
 	chunk func(r, c int) *csr.Matrix,
 	rowStart func(r int) int,
 	colStart func(c int) int) (*csr.Matrix, error) {
 
 	out := &csr.Matrix{Rows: rows, Cols: cols, RowOffsets: make([]int64, rows+1)}
-	// Pass 1: row sizes.
+
+	// Resolve the grid once so the parallel passes index slices instead
+	// of calling back per row, and map each global row to its panel.
+	grid := make([]*csr.Matrix, numRow*numCol)
 	for r := 0; r < numRow; r++ {
-		base := rowStart(r)
 		for c := 0; c < numCol; c++ {
-			m := chunk(r, c)
-			for lr := 0; lr < m.Rows; lr++ {
-				out.RowOffsets[base+lr+1] += m.RowNnz(lr)
-			}
+			grid[r*numCol+c] = chunk(r, c)
 		}
 	}
-	for i := 0; i < rows; i++ {
-		out.RowOffsets[i+1] += out.RowOffsets[i]
+	offs := make([]int32, numCol)
+	for c := 0; c < numCol; c++ {
+		offs[c] = int32(colStart(c))
 	}
+	panelOf := make([]int32, rows)
+	for r := 0; r < numRow; r++ {
+		for i := rowStart(r); i < rowEnd(r, numRow, rows, rowStart); i++ {
+			panelOf[i] = int32(r)
+		}
+	}
+
+	grain := parallel.Grain(rows, 0)
+
+	// Pass 1: row sizes (each row sums its chunk-row lengths across the
+	// column panels), then a parallel prefix sum for the offsets.
+	rowNnz := make([]int64, rows)
+	parallel.For(0, rows, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := int(panelOf[i])
+			lr := i - rowStart(r)
+			var n int64
+			for c := 0; c < numCol; c++ {
+				if m := grid[r*numCol+c]; lr < m.Rows {
+					n += m.RowNnz(lr)
+				}
+			}
+			rowNnz[i] = n
+		}
+	})
+	parallel.PrefixSum(0, out.RowOffsets, rowNnz)
 	nnz := out.RowOffsets[rows]
 	out.ColIDs = make([]int32, nnz)
 	out.Data = make([]float64, nnz)
 
 	// Pass 2: fill, walking column panels in order so each row stays
-	// sorted.
-	pos := make([]int64, rows)
-	for r := 0; r < numRow; r++ {
-		base := rowStart(r)
-		for lr := 0; lr < rowEnd(r, numRow, rows, rowStart)-base; lr++ {
-			pos[base+lr] = out.RowOffsets[base+lr]
-		}
-		for c := 0; c < numCol; c++ {
-			m := chunk(r, c)
-			off := int32(colStart(c))
-			for lr := 0; lr < m.Rows; lr++ {
+	// sorted; rows are independent, so the loop is parallel.
+	parallel.For(0, rows, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := int(panelOf[i])
+			lr := i - rowStart(r)
+			w := out.RowOffsets[i]
+			for c := 0; c < numCol; c++ {
+				m := grid[r*numCol+c]
+				if lr >= m.Rows {
+					continue
+				}
+				off := offs[c]
 				gc, gv := m.Row(lr)
-				w := pos[base+lr]
-				for i := range gc {
-					out.ColIDs[w] = gc[i] + off
-					out.Data[w] = gv[i]
+				for j := range gc {
+					out.ColIDs[w] = gc[j] + off
+					out.Data[w] = gv[j]
 					w++
 				}
-				pos[base+lr] = w
 			}
 		}
-	}
+	})
 	return out, nil
 }
 

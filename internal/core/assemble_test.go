@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cpuspgemm"
+	"repro/internal/csr"
+	"repro/internal/partition"
+)
+
+// randomCSR builds a random rows x cols matrix with the given density.
+func randomCSR(rng *rand.Rand, rows, cols int, density float64) *csr.Matrix {
+	var es []csr.Entry
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if rng.Float64() < density {
+				es = append(es, csr.Entry{Row: int32(r), Col: int32(c), Val: rng.NormFloat64()})
+			}
+		}
+	}
+	m, err := csr.FromEntries(rows, cols, es)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// assembleViaGrid partitions A into numRow row panels and B into
+// numCol column panels, multiplies every chunk with the sequential
+// reference, and reassembles the product with AssembleChunks.
+func assembleViaGrid(t *testing.T, a, b *csr.Matrix, numRow, numCol int) *csr.Matrix {
+	t.Helper()
+	rps, err := partition.RowPanels(a, numRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps, err := partition.ColPanels(b, numCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := make([]*csr.Matrix, numRow*numCol)
+	for r := 0; r < numRow; r++ {
+		for c := 0; c < numCol; c++ {
+			m, err := cpuspgemm.Sequential(rps[r].M, cps[c].M)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chunks[r*numCol+c] = m
+		}
+	}
+	got, err := AssembleChunks(a.Rows, b.Cols, numRow, numCol,
+		func(r, c int) *csr.Matrix { return chunks[r*numCol+c] },
+		func(r int) int { return rps[r].Start },
+		func(c int) int { return cps[c].Start },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestAssembleChunksRandomGrids cross-checks assembly of randomized
+// chunk grids against the sequential product of the whole matrices,
+// covering degenerate single-panel grids and skinny panels.
+func TestAssembleChunksRandomGrids(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		rows := 10 + rng.Intn(60)
+		inner := 5 + rng.Intn(40)
+		cols := 10 + rng.Intn(60)
+		a := randomCSR(rng, rows, inner, 0.15)
+		b := randomCSR(rng, inner, cols, 0.15)
+		want, err := cpuspgemm.Sequential(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grids := [][2]int{
+			{1, 1}, // single-panel degenerate grid
+			{1 + rng.Intn(rows), 1 + rng.Intn(cols)},
+			{rows, 1},
+			{1, cols},
+		}
+		for _, g := range grids {
+			t.Run(fmt.Sprintf("trial%d/grid%dx%d", trial, g[0], g[1]), func(t *testing.T) {
+				got := assembleViaGrid(t, a, b, g[0], g[1])
+				if err := got.Validate(); err != nil {
+					t.Fatalf("assembled product invalid: %v", err)
+				}
+				if !csr.Equal(got, want, 1e-12) {
+					t.Fatalf("grid %dx%d: %s", g[0], g[1], csr.Diff(got, want, 1e-12))
+				}
+			})
+		}
+	}
+}
+
+// TestAssembleChunksEmptyChunks covers grids where many chunks carry no
+// non-zeros at all, including a fully empty product.
+func TestAssembleChunksEmptyChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+
+	// A block-diagonal-ish A times B produces chunks that are entirely
+	// empty away from the diagonal.
+	var es []csr.Entry
+	n := 40
+	for i := 0; i < n; i++ {
+		es = append(es, csr.Entry{Row: int32(i), Col: int32(i), Val: rng.NormFloat64()})
+	}
+	diag, err := csr.FromEntries(n, n, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randomCSR(rng, n, n, 0.1)
+	want, err := cpuspgemm.Sequential(diag, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := assembleViaGrid(t, diag, b, 5, 4)
+	if !csr.Equal(got, want, 1e-12) {
+		t.Fatalf("diagonal grid: %s", csr.Diff(got, want, 1e-12))
+	}
+
+	// Fully empty inputs: every chunk is empty, the product too.
+	empty := csr.New(16, 16)
+	got = assembleViaGrid(t, empty, empty, 4, 4)
+	if got.Nnz() != 0 || got.Rows != 16 || got.Cols != 16 {
+		t.Fatalf("empty assembly wrong: nnz=%d dims %dx%d", got.Nnz(), got.Rows, got.Cols)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,15 +8,22 @@
 // variant in the style of Patwary et al. [31], and a simple sequential
 // Gustavson reference used as ground truth by the test suites of every
 // other package.
+//
+// Scheduling: Multiply runs on the work-stealing runtime of
+// internal/parallel — per-row flops are computed once, chunk
+// boundaries are cut from them, and workers claim chunks dynamically
+// with pooled accumulators (internal/accum). The seed's static
+// contiguous-range scheduler is kept as MultiplyStatic, the ablation
+// baseline the benchmarks compare against.
 package cpuspgemm
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/accum"
 	"repro/internal/csr"
+	"repro/internal/parallel"
 )
 
 // Method selects the accumulation strategy.
@@ -55,10 +62,7 @@ type Options struct {
 }
 
 func (o Options) threads() int {
-	if o.Threads > 0 {
-		return o.Threads
-	}
-	return runtime.GOMAXPROCS(0)
+	return parallel.Workers(o.Threads)
 }
 
 // Sequential computes C = A·B with the straightforward sequential
@@ -67,7 +71,7 @@ func (o Options) threads() int {
 // engine in this repository.
 func Sequential(a, b *csr.Matrix) (*csr.Matrix, error) {
 	if a.Cols != b.Rows {
-		return nil, fmt.Errorf("cpuspgemm: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+		return nil, errDims(a, b)
 	}
 	entries := make([]csr.Entry, 0)
 	row := map[int32]float64{}
@@ -88,47 +92,107 @@ func Sequential(a, b *csr.Matrix) (*csr.Matrix, error) {
 	return csr.FromEntries(a.Rows, b.Cols, entries)
 }
 
-// Multiply computes C = A·B with the two-phase multi-core algorithm.
+// Multiply computes C = A·B with the two-phase multi-core algorithm on
+// the work-stealing runtime: chunk boundaries are auto-tuned from the
+// per-row flops (so a skewed row cannot strand one worker behind a
+// static range), both phases claim chunks dynamically, and the
+// accumulators come from the shared pool instead of being rebuilt per
+// worker per phase.
 func Multiply(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
 	if a.Cols != b.Rows {
-		return nil, fmt.Errorf("cpuspgemm: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+		return nil, errDims(a, b)
 	}
 	nt := opts.threads()
 
-	// Row analysis: per-row flops for load balancing (the same quantity
-	// the GPU framework's row-analysis kernel computes).
+	// Row analysis, computed once for both phases: rowFlops[i]/2 is
+	// also the worst-case nnz of output row i (each multiply-add pair
+	// contributes one candidate column), so it doubles as the
+	// accumulator sizing bound — the seed's separate maxUpperBound
+	// rescan per phase is gone.
+	rowFlops := csr.RowFlops(a, b)
+	bounds := parallel.CostBounds(rowFlops, nt)
+
+	c := &csr.Matrix{Rows: a.Rows, Cols: b.Cols, RowOffsets: make([]int64, a.Rows+1)}
+	rowNnz := make([]int64, a.Rows)
+
+	// Symbolic phase: count distinct columns per output row.
+	parallel.ForChunks(nt, bounds, func(lo, hi int) {
+		acc := getAccumulator(opts.Method, b.Cols, chunkBound(rowFlops, lo, hi))
+		defer accum.Put(acc)
+		for i := lo; i < hi; i++ {
+			ac, _ := a.Row(i)
+			for _, k := range ac {
+				bc, _ := b.Row(int(k))
+				for _, col := range bc {
+					acc.AddSymbolic(col)
+				}
+			}
+			rowNnz[i] = int64(acc.FlushSymbolic())
+		}
+	})
+
+	// Prefix sum gives the final row offsets; allocation is now exact.
+	parallel.PrefixSum(nt, c.RowOffsets, rowNnz)
+	nnz := c.RowOffsets[a.Rows]
+	c.ColIDs = make([]int32, nnz)
+	c.Data = make([]float64, nnz)
+
+	// Numeric phase: recompute with values, writing into the allocated
+	// arrays at each row's offset.
+	parallel.ForChunks(nt, bounds, func(lo, hi int) {
+		acc := getAccumulator(opts.Method, b.Cols, chunkBound(rowFlops, lo, hi))
+		defer accum.Put(acc)
+		for i := lo; i < hi; i++ {
+			ac, av := a.Row(i)
+			for p := range ac {
+				bc, bv := b.Row(int(ac[p]))
+				for q := range bc {
+					acc.Add(bc[q], av[p]*bv[q])
+				}
+			}
+			if int64(acc.Len()) != rowNnz[i] {
+				panic(fmt.Sprintf("cpuspgemm: row %d numeric nnz %d != symbolic %d", i, acc.Len(), rowNnz[i]))
+			}
+			// Flushing into full-capacity sub-slices writes the row
+			// in place at its pre-computed offset.
+			off, end := c.RowOffsets[i], c.RowOffsets[i]+rowNnz[i]
+			acc.Flush(c.ColIDs[off:off:end], c.Data[off:off:end])
+		}
+	})
+	return c, nil
+}
+
+// MultiplyStatic computes C = A·B with the seed's scheduling strategy,
+// kept as the ablation baseline for the work-stealing runtime: one
+// static flops-balanced contiguous range per worker (BalanceRows) and
+// a fresh accumulator per worker per phase. cmd/spgemm-bench -exp=cpu
+// records Multiply's speedup over it in BENCH_cpu.json.
+func MultiplyStatic(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, errDims(a, b)
+	}
+	nt := opts.threads()
+
 	rowFlops := csr.RowFlops(a, b)
 	bounds := BalanceRows(rowFlops, nt)
 
 	c := &csr.Matrix{Rows: a.Rows, Cols: b.Cols, RowOffsets: make([]int64, a.Rows+1)}
 	rowNnz := make([]int64, a.Rows)
 
-	// Symbolic phase: count distinct columns per output row.
-	var wg sync.WaitGroup
-	for w := 0; w < nt; w++ {
-		lo, hi := bounds[w], bounds[w+1]
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			acc := newAccumulator(opts.Method, b.Cols, maxUpperBound(a, b, lo, hi))
-			for i := lo; i < hi; i++ {
-				ac, _ := a.Row(i)
-				for _, k := range ac {
-					bc, _ := b.Row(int(k))
-					for _, col := range bc {
-						acc.AddSymbolic(col)
-					}
+	parallelRanges(bounds, func(lo, hi int) {
+		acc := newAccumulator(opts.Method, b.Cols, maxUpperBound(a, b, lo, hi))
+		for i := lo; i < hi; i++ {
+			ac, _ := a.Row(i)
+			for _, k := range ac {
+				bc, _ := b.Row(int(k))
+				for _, col := range bc {
+					acc.AddSymbolic(col)
 				}
-				rowNnz[i] = int64(acc.FlushSymbolic())
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+			rowNnz[i] = int64(acc.FlushSymbolic())
+		}
+	})
 
-	// Prefix sum gives the final row offsets; allocation is now exact.
 	for i := 0; i < a.Rows; i++ {
 		c.RowOffsets[i+1] = c.RowOffsets[i] + rowNnz[i]
 	}
@@ -136,39 +200,63 @@ func Multiply(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
 	c.ColIDs = make([]int32, nnz)
 	c.Data = make([]float64, nnz)
 
-	// Numeric phase: recompute with values, writing into the allocated
-	// arrays at each row's offset.
-	for w := 0; w < nt; w++ {
-		lo, hi := bounds[w], bounds[w+1]
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			acc := newAccumulator(opts.Method, b.Cols, maxUpperBound(a, b, lo, hi))
-			for i := lo; i < hi; i++ {
-				ac, av := a.Row(i)
-				for p := range ac {
-					bc, bv := b.Row(int(ac[p]))
-					for q := range bc {
-						acc.Add(bc[q], av[p]*bv[q])
-					}
+	parallelRanges(bounds, func(lo, hi int) {
+		acc := newAccumulator(opts.Method, b.Cols, maxUpperBound(a, b, lo, hi))
+		for i := lo; i < hi; i++ {
+			ac, av := a.Row(i)
+			for p := range ac {
+				bc, bv := b.Row(int(ac[p]))
+				for q := range bc {
+					acc.Add(bc[q], av[p]*bv[q])
 				}
-				if int64(acc.Len()) != rowNnz[i] {
-					panic(fmt.Sprintf("cpuspgemm: row %d numeric nnz %d != symbolic %d", i, acc.Len(), rowNnz[i]))
-				}
-				// Flushing into full-capacity sub-slices writes the row
-				// in place at its pre-computed offset.
-				off, end := c.RowOffsets[i], c.RowOffsets[i]+rowNnz[i]
-				acc.Flush(c.ColIDs[off:off:end], c.Data[off:off:end])
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+			if int64(acc.Len()) != rowNnz[i] {
+				panic(fmt.Sprintf("cpuspgemm: row %d numeric nnz %d != symbolic %d", i, acc.Len(), rowNnz[i]))
+			}
+			off, end := c.RowOffsets[i], c.RowOffsets[i]+rowNnz[i]
+			acc.Flush(c.ColIDs[off:off:end], c.Data[off:off:end])
+		}
+	})
 	return c, nil
 }
 
+// chunkBound returns the largest worst-case output-row size over rows
+// [lo, hi), derived from the per-row flop counts (2 flops per
+// candidate column).
+func chunkBound(rowFlops []int64, lo, hi int) int64 {
+	var mx int64
+	for i := lo; i < hi; i++ {
+		if rowFlops[i] > mx {
+			mx = rowFlops[i]
+		}
+	}
+	return mx / 2
+}
+
+// getAccumulator takes a pooled accumulator sized for the worst-case
+// row of the chunk. Return it with accum.Put.
+func getAccumulator(m Method, width int, bound int64) accum.Accumulator {
+	switch m {
+	case Dense:
+		return accum.GetDense(width)
+	case ESC:
+		if bound < 16 {
+			bound = 16
+		}
+		return accum.GetSort(int(bound))
+	default:
+		if bound < 16 {
+			bound = 16
+		}
+		if bound > int64(width) {
+			bound = int64(width)
+		}
+		return accum.GetHash(int(bound))
+	}
+}
+
+// newAccumulator allocates a fresh, unpooled accumulator; the static
+// baseline uses it so its allocation behavior stays the seed's.
 func newAccumulator(m Method, width int, bound int64) accum.Accumulator {
 	switch m {
 	case Dense:
@@ -207,12 +295,22 @@ func maxUpperBound(a, b *csr.Matrix, lo, hi int) int64 {
 
 // BalanceRows partitions rows into parts contiguous ranges with roughly
 // equal total flops. It returns parts+1 boundaries with bounds[0]=0 and
-// bounds[parts]=len(rowFlops).
+// bounds[parts]=len(rowFlops). parts < 1 is treated as 1; an all-zero
+// (or empty) flop array falls back to an even split by row count.
 func BalanceRows(rowFlops []int64, parts int) []int {
+	if parts < 1 {
+		parts = 1
+	}
 	n := len(rowFlops)
 	var total int64
 	for _, f := range rowFlops {
 		total += f
+	}
+	if total == 0 {
+		// No flop information to balance on: split evenly by count so
+		// no worker inherits everything (the seed put all rows in the
+		// final part).
+		return parallel.Blocks(n, parts)
 	}
 	bounds := make([]int, parts+1)
 	bounds[parts] = n

@@ -229,6 +229,98 @@ func TestBalanceRowsZeroFlops(t *testing.T) {
 	if b[0] != 0 || b[3] != 10 {
 		t.Fatalf("zero-flop bounds = %v", b)
 	}
+	// All-zero flops must fall back to an even split, not leave every
+	// row in one part.
+	for w := 0; w < 3; w++ {
+		if sz := b[w+1] - b[w]; sz < 3 || sz > 4 {
+			t.Fatalf("zero-flop split uneven: %v", b)
+		}
+	}
+}
+
+func TestBalanceRowsEdgeCases(t *testing.T) {
+	// More parts than rows: boundaries must stay monotone and cover.
+	rf := []int64{5, 1, 9}
+	b := BalanceRows(rf, 8)
+	if len(b) != 9 || b[0] != 0 || b[8] != 3 {
+		t.Fatalf("parts>rows endpoints wrong: %v", b)
+	}
+	for i := 0; i < 8; i++ {
+		if b[i] > b[i+1] {
+			t.Fatalf("parts>rows not monotone: %v", b)
+		}
+	}
+
+	// Empty matrix (no rows).
+	b = BalanceRows(nil, 4)
+	if len(b) != 5 || b[0] != 0 || b[4] != 0 {
+		t.Fatalf("empty bounds = %v", b)
+	}
+
+	// parts < 1 is treated as one part.
+	b = BalanceRows([]int64{1, 2, 3}, 0)
+	if len(b) != 2 || b[0] != 0 || b[1] != 3 {
+		t.Fatalf("parts=0 bounds = %v", b)
+	}
+
+	// Zero flops with more parts than rows.
+	b = BalanceRows(make([]int64, 2), 5)
+	if len(b) != 6 || b[0] != 0 || b[5] != 2 {
+		t.Fatalf("zero-flop parts>rows bounds = %v", b)
+	}
+	for i := 0; i < 5; i++ {
+		if b[i] > b[i+1] {
+			t.Fatalf("zero-flop parts>rows not monotone: %v", b)
+		}
+	}
+}
+
+// TestMultiplyStaticMatchesSequential anchors the kept static-range
+// baseline to the same ground truth as the work-stealing Multiply.
+func TestMultiplyStaticMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, method := range []Method{Hash, Dense, ESC} {
+		for trial := 0; trial < 3; trial++ {
+			a := randomMatrix(rng, 40+rng.Intn(30), 35, 0.15)
+			b := randomMatrix(rng, 35, 45, 0.15)
+			want, err := Sequential(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := MultiplyStatic(a, b, Options{Threads: 4, Method: method})
+			if err != nil {
+				t.Fatalf("%v: %v", method, err)
+			}
+			if !csr.Equal(got, want, 1e-12) {
+				t.Fatalf("%v: %s", method, csr.Diff(got, want, 1e-12))
+			}
+		}
+	}
+	if _, err := MultiplyStatic(csr.New(3, 4), csr.New(5, 3), Options{}); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+// TestMultiplyReusesPooledAccumulators runs repeated multiplications
+// to exercise the cross-call accumulator reuse path under the race
+// detector.
+func TestMultiplyReusesPooledAccumulators(t *testing.T) {
+	a := matgen.RMAT(8, 8, 0.57, 0.19, 0.19, 11)
+	want, err := Sequential(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		for _, method := range []Method{Hash, Dense, ESC} {
+			got, err := Multiply(a, a, Options{Threads: 3, Method: method})
+			if err != nil {
+				t.Fatalf("round %d %v: %v", round, method, err)
+			}
+			if !csr.Equal(got, want, 1e-9) {
+				t.Fatalf("round %d %v: %s", round, method, csr.Diff(got, want, 1e-9))
+			}
+		}
+	}
 }
 
 func TestMethodString(t *testing.T) {
@@ -303,5 +395,35 @@ func BenchmarkMultiplyThreadScaling(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkMultiplySchedulers compares the seed's static flops-balanced
+// ranges (MultiplyStatic) against the work-stealing runtime (Multiply)
+// on a skewed RMAT matrix — the acceptance benchmark of the runtime
+// retrofit. cmd/spgemm-bench -exp=cpu records the same comparison in
+// BENCH_cpu.json.
+func BenchmarkMultiplySchedulers(b *testing.B) {
+	a := matgen.RMAT(12, 16, 0.6, 0.19, 0.19, 7)
+	for _, threads := range []int{1, 8} {
+		for _, engine := range []struct {
+			name string
+			fn   func() (*csr.Matrix, error)
+		}{
+			{"static", func() (*csr.Matrix, error) {
+				return MultiplyStatic(a, a, Options{Threads: threads, Method: Hash})
+			}},
+			{"stealing", func() (*csr.Matrix, error) {
+				return Multiply(a, a, Options{Threads: threads, Method: Hash})
+			}},
+		} {
+			b.Run(fmt.Sprintf("%s/threads=%d", engine.name, threads), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := engine.fn(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"repro/internal/csr"
+	"repro/internal/parallel"
 )
 
 // Merge-based accumulation, the third family of the paper's related
@@ -68,31 +69,29 @@ func mergeRow(a, b *csr.Matrix, i int, cols []int32, vals []float64) (int, []int
 }
 
 // MultiplyMerge computes C = A·B with merge-based accumulation,
-// two-phase like the other engines, parallel over flops-balanced row
-// ranges.
+// two-phase like the other engines, on the same work-stealing runtime:
+// cost-tuned chunks are claimed dynamically in both phases.
 func MultiplyMerge(a, b *csr.Matrix, threads int) (*csr.Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, errDims(a, b)
 	}
-	opts := Options{Threads: threads}
-	nt := opts.threads()
-	bounds := BalanceRows(csr.RowFlops(a, b), nt)
+	nt := parallel.Workers(threads)
+	rowFlops := csr.RowFlops(a, b)
+	bounds := parallel.CostBounds(rowFlops, nt)
 
 	c := &csr.Matrix{Rows: a.Rows, Cols: b.Cols, RowOffsets: make([]int64, a.Rows+1)}
 	rowNnz := make([]int64, a.Rows)
-	parallelRanges(bounds, func(lo, hi int) {
+	parallel.ForChunks(nt, bounds, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			n, _, _ := mergeRow(a, b, i, nil, nil)
 			rowNnz[i] = int64(n)
 		}
 	})
-	for i := 0; i < a.Rows; i++ {
-		c.RowOffsets[i+1] = c.RowOffsets[i] + rowNnz[i]
-	}
+	parallel.PrefixSum(nt, c.RowOffsets, rowNnz)
 	nnz := c.RowOffsets[a.Rows]
 	c.ColIDs = make([]int32, nnz)
 	c.Data = make([]float64, nnz)
-	parallelRanges(bounds, func(lo, hi int) {
+	parallel.ForChunks(nt, bounds, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			off, end := c.RowOffsets[i], c.RowOffsets[i+1]
 			mergeRow(a, b, i, c.ColIDs[off:off:end], c.Data[off:off:end])

@@ -1,11 +1,9 @@
 package cpuspgemm
 
 import (
-	"fmt"
-	"sync"
-
 	"repro/internal/accum"
 	"repro/internal/csr"
+	"repro/internal/parallel"
 )
 
 // OuterProduct computes C = A·B with the outer-product (column-row)
@@ -23,74 +21,68 @@ import (
 // a cross-check for the other engines.
 func OuterProduct(a, b *csr.Matrix, threads int) (*csr.Matrix, error) {
 	if a.Cols != b.Rows {
-		return nil, fmt.Errorf("cpuspgemm: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+		return nil, errDims(a, b)
 	}
-	if threads < 1 {
-		threads = 1
-	}
+	threads = parallel.Workers(threads)
 	// CSC view of A: row r of at holds column r of A.
 	at := a.Transpose()
 
 	// Each worker owns a contiguous range of OUTPUT rows and scans all
-	// inner indices, so no two workers touch the same accumulator. (A
-	// transpose-free variant would partition k and merge; partitioning
-	// output rows keeps the merge trivial.)
+	// inner indices, so no two workers touch the same accumulator. The
+	// ranges must stay static (every worker pays the full inner scan,
+	// so more chunks would multiply that cost), but they are balanced
+	// by per-output-row flops rather than the seed's raw row counts.
 	rowAcc := make([]*accum.Hash, a.Rows)
-	rowBounds := make([]int, threads+1)
-	for w := 0; w <= threads; w++ {
-		rowBounds[w] = w * a.Rows / threads
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < threads; w++ {
-		lo, hi := rowBounds[w], rowBounds[w+1]
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for k := 0; k < at.Rows; k++ {
-				// Column k of A x row k of B.
-				ac, av := at.Row(k)
-				bc, bv := b.Row(k)
-				if len(ac) == 0 || len(bc) == 0 {
+	rowBounds := BalanceRows(csr.RowFlops(a, b), threads)
+	parallelRanges(rowBounds, func(lo, hi int) {
+		for k := 0; k < at.Rows; k++ {
+			// Column k of A x row k of B.
+			ac, av := at.Row(k)
+			bc, bv := b.Row(k)
+			if len(ac) == 0 || len(bc) == 0 {
+				continue
+			}
+			for p := range ac {
+				i := int(ac[p])
+				if i < lo || i >= hi {
 					continue
 				}
-				for p := range ac {
-					i := int(ac[p])
-					if i < lo || i >= hi {
-						continue
-					}
-					acc := rowAcc[i]
-					if acc == nil {
-						acc = accum.NewHash(len(bc) * 2)
-						rowAcc[i] = acc
-					}
-					for q := range bc {
-						acc.Add(bc[q], av[p]*bv[q])
-					}
+				acc := rowAcc[i]
+				if acc == nil {
+					acc = accum.GetHash(len(bc) * 2)
+					rowAcc[i] = acc
+				}
+				for q := range bc {
+					acc.Add(bc[q], av[p]*bv[q])
 				}
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 
-	// Assemble C from the per-row accumulators.
+	// Assemble C from the per-row accumulators: exact offsets from a
+	// parallel prefix sum, then a parallel flush into sub-slices. Each
+	// accumulator goes back to the pool once its row is written.
 	c := &csr.Matrix{Rows: a.Rows, Cols: b.Cols, RowOffsets: make([]int64, a.Rows+1)}
+	rowNnz := make([]int64, a.Rows)
 	for i := 0; i < a.Rows; i++ {
-		n := 0
 		if rowAcc[i] != nil {
-			n = rowAcc[i].Len()
+			rowNnz[i] = int64(rowAcc[i].Len())
 		}
-		c.RowOffsets[i+1] = c.RowOffsets[i] + int64(n)
 	}
+	parallel.PrefixSum(threads, c.RowOffsets, rowNnz)
 	nnz := c.RowOffsets[a.Rows]
-	c.ColIDs = make([]int32, 0, nnz)
-	c.Data = make([]float64, 0, nnz)
-	for i := 0; i < a.Rows; i++ {
-		if rowAcc[i] != nil {
-			c.ColIDs, c.Data = rowAcc[i].Flush(c.ColIDs, c.Data)
+	c.ColIDs = make([]int32, nnz)
+	c.Data = make([]float64, nnz)
+	parallel.For(threads, a.Rows, parallel.Grain(a.Rows, threads), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if rowAcc[i] == nil {
+				continue
+			}
+			off, end := c.RowOffsets[i], c.RowOffsets[i+1]
+			rowAcc[i].Flush(c.ColIDs[off:off:end], c.Data[off:off:end])
+			accum.PutHash(rowAcc[i])
+			rowAcc[i] = nil
 		}
-	}
+	})
 	return c, nil
 }

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // Matrix is a sparse matrix in CSR form. The zero value is an empty 0x0
@@ -73,18 +75,15 @@ type Entry struct {
 
 // FromEntries builds a CSR matrix from coordinate triplets. Duplicate
 // (row, col) entries are summed. The input slice is reordered in place.
+// The dominant cost — sorting the triplets — runs as a parallel merge
+// sort on large inputs.
 func FromEntries(rows, cols int, entries []Entry) (*Matrix, error) {
 	for _, e := range entries {
 		if int(e.Row) < 0 || int(e.Row) >= rows || int(e.Col) < 0 || int(e.Col) >= cols {
 			return nil, fmt.Errorf("csr: entry (%d,%d) outside %dx%d matrix", e.Row, e.Col, rows, cols)
 		}
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Row != entries[j].Row {
-			return entries[i].Row < entries[j].Row
-		}
-		return entries[i].Col < entries[j].Col
-	})
+	sortEntries(entries)
 	// Merge duplicates.
 	w := 0
 	for i := 0; i < len(entries); i++ {
@@ -104,21 +103,97 @@ func FromEntries(rows, cols int, entries []Entry) (*Matrix, error) {
 		ColIDs:     make([]int32, len(entries)),
 		Data:       make([]float64, len(entries)),
 	}
+	counts := make([]int64, rows)
 	for _, e := range entries {
-		m.RowOffsets[e.Row+1]++
+		counts[e.Row]++
 	}
-	for r := 0; r < rows; r++ {
-		m.RowOffsets[r+1] += m.RowOffsets[r]
-	}
-	pos := make([]int64, rows)
-	copy(pos, m.RowOffsets[:rows])
-	for _, e := range entries {
-		p := pos[e.Row]
-		m.ColIDs[p] = e.Col
-		m.Data[p] = e.Val
-		pos[e.Row]++
-	}
+	parallel.PrefixSum(0, m.RowOffsets, counts)
+	// The deduplicated entries are already in CSR order, so entry i
+	// lands at position i; the fill is an independent per-element copy.
+	parallel.For(0, len(entries), parallel.Grain(len(entries), 0), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.ColIDs[i] = entries[i].Col
+			m.Data[i] = entries[i].Val
+		}
+	})
 	return m, nil
+}
+
+// sortEntriesCutoff is the size below which the triplet sort stays
+// sequential; goroutine fan-out costs more than it saves there.
+const sortEntriesCutoff = 1 << 14
+
+// sortEntries orders triplets by (row, col): a parallel merge sort for
+// large slices (sorted power-of-two runs, then pairwise parallel merge
+// rounds), the standard library sort otherwise.
+func sortEntries(entries []Entry) {
+	n := len(entries)
+	workers := parallel.Workers(0)
+	if workers == 1 || n < sortEntriesCutoff {
+		sort.Slice(entries, func(i, j int) bool { return entryLess(entries[i], entries[j]) })
+		return
+	}
+	runs := 1
+	for runs < 2*workers {
+		runs <<= 1
+	}
+	rb := parallel.Blocks(n, runs)
+	parallel.ForChunks(workers, rb, func(lo, hi int) {
+		seg := entries[lo:hi]
+		sort.Slice(seg, func(i, j int) bool { return entryLess(seg[i], seg[j]) })
+	})
+	buf := make([]Entry, n)
+	src, dst := entries, buf
+	for width := 1; width < runs; width *= 2 {
+		type job struct{ lo, mid, hi int }
+		var jobs []job
+		for k := 0; k < runs; k += 2 * width {
+			mid, end := k+width, k+2*width
+			if mid > runs {
+				mid = runs
+			}
+			if end > runs {
+				end = runs
+			}
+			jobs = append(jobs, job{rb[k], rb[mid], rb[end]})
+		}
+		localSrc, localDst := src, dst
+		parallel.For(workers, len(jobs), 1, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				mergeEntryRuns(localDst[jobs[j].lo:jobs[j].hi], localSrc[jobs[j].lo:jobs[j].mid], localSrc[jobs[j].mid:jobs[j].hi])
+			}
+		})
+		src, dst = dst, src
+	}
+	if &src[0] != &entries[0] {
+		copy(entries, src)
+	}
+}
+
+func entryLess(a, b Entry) bool {
+	if a.Row != b.Row {
+		return a.Row < b.Row
+	}
+	return a.Col < b.Col
+}
+
+// mergeEntryRuns merges the two sorted runs a and b into dst, whose
+// length is len(a)+len(b).
+func mergeEntryRuns(dst, a, b []Entry) {
+	i, j := 0, 0
+	for k := range dst {
+		switch {
+		case i >= len(a):
+			dst[k] = b[j]
+			j++
+		case j >= len(b) || !entryLess(b[j], a[i]):
+			dst[k] = a[i]
+			i++
+		default:
+			dst[k] = b[j]
+			j++
+		}
+	}
 }
 
 // Validate checks the structural invariants of the CSR representation:
@@ -169,15 +244,30 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// transposeParallelCutoff is the nnz below which Transpose stays
+// sequential: the counting-sort passes are too short to win back the
+// per-worker histogram setup.
+const transposeParallelCutoff = 1 << 15
+
 // Transpose returns the transpose of the matrix, also in CSR form (which
-// is equivalently the CSC form of the original).
+// is equivalently the CSC form of the original). Large matrices use a
+// parallel counting sort: each worker histograms a block of rows, the
+// per-worker column counts are scanned into disjoint write cursors, and
+// the scatter runs block-parallel while preserving the row order (so
+// transposed rows stay sorted). The parallel path is skipped when the
+// per-worker histograms would rival the matrix itself in size.
 func (m *Matrix) Transpose() *Matrix {
+	workers := parallel.Workers(0)
+	nnz := m.Nnz()
+	if workers > 1 && nnz >= transposeParallelCutoff && int64(workers)*int64(m.Cols) <= 4*nnz {
+		return m.transposeParallel(workers)
+	}
 	t := &Matrix{
 		Rows:       m.Cols,
 		Cols:       m.Rows,
 		RowOffsets: make([]int64, m.Cols+1),
-		ColIDs:     make([]int32, m.Nnz()),
-		Data:       make([]float64, m.Nnz()),
+		ColIDs:     make([]int32, nnz),
+		Data:       make([]float64, nnz),
 	}
 	for _, c := range m.ColIDs {
 		t.RowOffsets[c+1]++
@@ -196,6 +286,66 @@ func (m *Matrix) Transpose() *Matrix {
 			pos[c]++
 		}
 	}
+	return t
+}
+
+func (m *Matrix) transposeParallel(workers int) *Matrix {
+	t := &Matrix{
+		Rows:       m.Cols,
+		Cols:       m.Rows,
+		RowOffsets: make([]int64, m.Cols+1),
+		ColIDs:     make([]int32, m.Nnz()),
+		Data:       make([]float64, m.Nnz()),
+	}
+	rb := parallel.Blocks(m.Rows, workers)
+	// Phase 1: per-worker column histograms over disjoint row blocks.
+	counts := make([]int64, workers*m.Cols)
+	parallel.Run(workers, func(w int) {
+		h := counts[w*m.Cols : (w+1)*m.Cols]
+		for p := m.RowOffsets[rb[w]]; p < m.RowOffsets[rb[w+1]]; p++ {
+			h[m.ColIDs[p]]++
+		}
+	})
+	// Phase 2: column totals feed the row offsets of the transpose;
+	// then each histogram cell becomes its worker's write cursor for
+	// that column (an exclusive scan across workers per column).
+	colTotal := make([]int64, m.Cols)
+	grain := parallel.Grain(m.Cols, workers)
+	parallel.For(workers, m.Cols, grain, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			var s int64
+			for w := 0; w < workers; w++ {
+				s += counts[w*m.Cols+c]
+			}
+			colTotal[c] = s
+		}
+	})
+	parallel.PrefixSum(workers, t.RowOffsets, colTotal)
+	parallel.For(workers, m.Cols, grain, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			pos := t.RowOffsets[c]
+			for w := 0; w < workers; w++ {
+				n := counts[w*m.Cols+c]
+				counts[w*m.Cols+c] = pos
+				pos += n
+			}
+		}
+	})
+	// Phase 3: scatter. Each worker walks its row block in order, so
+	// within every transposed row the original row ids — its column
+	// ids — appear in increasing order.
+	parallel.Run(workers, func(w int) {
+		pos := counts[w*m.Cols : (w+1)*m.Cols]
+		for r := rb[w]; r < rb[w+1]; r++ {
+			for p := m.RowOffsets[r]; p < m.RowOffsets[r+1]; p++ {
+				c := m.ColIDs[p]
+				q := pos[c]
+				t.ColIDs[q] = int32(r)
+				t.Data[q] = m.Data[p]
+				pos[c] = q + 1
+			}
+		}
+	})
 	return t
 }
 

@@ -340,3 +340,80 @@ func TestQuickTransposeShape(t *testing.T) {
 		}
 	}
 }
+
+// TestFromEntriesLargeParallelSort pushes FromEntries past the
+// parallel-sort cutoff and checks the result against per-element
+// expectations (sorted rows, summed duplicates preserved).
+func TestFromEntriesLargeParallelSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const rows, cols = 500, 500
+	n := sortEntriesCutoff * 2
+	es := make([]Entry, n)
+	want := map[[2]int32]float64{}
+	for i := range es {
+		e := Entry{Row: int32(rng.Intn(rows)), Col: int32(rng.Intn(cols)), Val: rng.NormFloat64()}
+		es[i] = e
+		want[[2]int32{e.Row, e.Col}] += e.Val
+	}
+	m := mustFromEntries(t, rows, cols, es)
+	if m.Nnz() != int64(len(want)) {
+		t.Fatalf("nnz %d, want %d", m.Nnz(), len(want))
+	}
+	for r := 0; r < rows; r++ {
+		mc, mv := m.Row(r)
+		for i := range mc {
+			w := want[[2]int32{int32(r), mc[i]}]
+			if d := mv[i] - w; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("row %d col %d = %g, want %g", r, mc[i], mv[i], w)
+			}
+		}
+	}
+}
+
+// TestTransposeLargeParallelAgreesWithSequential forces both transpose
+// paths on the same matrix and requires identical output.
+func TestTransposeLargeParallelAgreesWithSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	const rows, cols = 900, 300
+	var es []Entry
+	for i := 0; i < transposeParallelCutoff+5000; i++ {
+		es = append(es, Entry{Row: int32(rng.Intn(rows)), Col: int32(rng.Intn(cols)), Val: rng.NormFloat64()})
+	}
+	m := mustFromEntries(t, rows, cols, es)
+
+	// The sequential reference, computed inline regardless of cutoff.
+	ref := &Matrix{Rows: m.Cols, Cols: m.Rows, RowOffsets: make([]int64, m.Cols+1),
+		ColIDs: make([]int32, m.Nnz()), Data: make([]float64, m.Nnz())}
+	for _, c := range m.ColIDs {
+		ref.RowOffsets[c+1]++
+	}
+	for c := 0; c < m.Cols; c++ {
+		ref.RowOffsets[c+1] += ref.RowOffsets[c]
+	}
+	pos := make([]int64, m.Cols)
+	copy(pos, ref.RowOffsets[:m.Cols])
+	for r := 0; r < m.Rows; r++ {
+		for p := m.RowOffsets[r]; p < m.RowOffsets[r+1]; p++ {
+			c := m.ColIDs[p]
+			ref.ColIDs[pos[c]] = int32(r)
+			ref.Data[pos[c]] = m.Data[p]
+			pos[c]++
+		}
+	}
+
+	// The parallel path, invoked directly so the test does not depend
+	// on GOMAXPROCS exceeding one.
+	got := m.transposeParallel(4)
+	if err := got.Validate(); err != nil {
+		t.Fatalf("parallel transpose invalid: %v", err)
+	}
+	if !Equal(got, ref, 0) {
+		t.Fatalf("parallel transpose differs: %s", Diff(got, ref, 0))
+	}
+
+	// And the involution still holds through the public entry point.
+	back := got.Transpose()
+	if !Equal(back, m, 0) {
+		t.Fatalf("transpose involution broken: %s", Diff(back, m, 0))
+	}
+}

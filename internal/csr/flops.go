@@ -1,17 +1,15 @@
 package csr
 
+import "repro/internal/parallel"
+
 // Flops reports the number of floating-point operations required to
 // compute A·B with Gustavson's algorithm, counting a multiply-add as two
 // flops as the paper does (Table II: "a multiply-add counts as 2 flops").
 // It is the sum over all non-zeros A[i][k] of 2*nnz(B[k][*]).
 func Flops(a, b *Matrix) int64 {
-	bRowNnz := make([]int64, b.Rows)
-	for r := 0; r < b.Rows; r++ {
-		bRowNnz[r] = b.RowNnz(r)
-	}
 	var total int64
-	for _, k := range a.ColIDs {
-		total += 2 * bRowNnz[k]
+	for _, f := range RowFlops(a, b) {
+		total += f
 	}
 	return total
 }
@@ -19,20 +17,25 @@ func Flops(a, b *Matrix) int64 {
 // RowFlops returns, for every row i of A, the number of flops needed to
 // compute row i of A·B. This is the "row analysis" quantity of the
 // framework's first GPU stage (Figure 3), used for load balancing and
-// for the hybrid work distribution.
+// for the hybrid work distribution. It feeds every engine's scheduler,
+// so the scan itself is row-parallel.
 func RowFlops(a, b *Matrix) []int64 {
 	bRowNnz := make([]int64, b.Rows)
-	for r := 0; r < b.Rows; r++ {
-		bRowNnz[r] = b.RowNnz(r)
-	}
-	out := make([]int64, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		var f int64
-		for p := a.RowOffsets[i]; p < a.RowOffsets[i+1]; p++ {
-			f += 2 * bRowNnz[a.ColIDs[p]]
+	parallel.For(0, b.Rows, parallel.Grain(b.Rows, 0), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			bRowNnz[r] = b.RowNnz(r)
 		}
-		out[i] = f
-	}
+	})
+	out := make([]int64, a.Rows)
+	parallel.For(0, a.Rows, parallel.Grain(a.Rows, 0), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var f int64
+			for p := a.RowOffsets[i]; p < a.RowOffsets[i+1]; p++ {
+				f += 2 * bRowNnz[a.ColIDs[p]]
+			}
+			out[i] = f
+		}
+	})
 	return out
 }
 
@@ -43,17 +46,9 @@ func RowFlops(a, b *Matrix) []int64 {
 // between the bound and the observed nnz can be very large; we keep them
 // for hash-table sizing and for the upper-bound ablation.
 func RowUpperBounds(a, b *Matrix) []int64 {
-	bRowNnz := make([]int64, b.Rows)
-	for r := 0; r < b.Rows; r++ {
-		bRowNnz[r] = b.RowNnz(r)
-	}
-	out := make([]int64, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		var n int64
-		for p := a.RowOffsets[i]; p < a.RowOffsets[i+1]; p++ {
-			n += bRowNnz[a.ColIDs[p]]
-		}
-		out[i] = n
+	out := RowFlops(a, b)
+	for i := range out {
+		out[i] /= 2
 	}
 	return out
 }

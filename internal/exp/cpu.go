@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpuspgemm"
+	"repro/internal/csr"
+	"repro/internal/matgen"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+)
+
+// CPUBenchReport is the machine-readable result of the CPU engine
+// benchmark (-exp=cpu), written to BENCH_cpu.json so performance can
+// be tracked across commits. All engines multiply the same skewed
+// R-MAT matrix by itself; GFLOPS uses the Gustavson flop count
+// (2 flops per multiply-add), so the numbers are comparable with the
+// paper's Table II scale.
+type CPUBenchReport struct {
+	Matrix  string `json:"matrix"`
+	Rows    int    `json:"rows"`
+	Cols    int    `json:"cols"`
+	Nnz     int64  `json:"nnz"`
+	Flops   int64  `json:"flops"`
+	Threads int    `json:"threads"`
+	// Engines maps engine name (hash, hash-static, dense, esc, merge)
+	// to its best-of-three timing.
+	Engines map[string]CPUEngineResult `json:"engines"`
+	// SpeedupHashVsStatic compares the work-stealing scheduler against
+	// the static row split on the same hash accumulator.
+	SpeedupHashVsStatic float64           `json:"speedup_hash_vs_static"`
+	Assembly            CPUAssemblyResult `json:"assembly"`
+}
+
+// CPUEngineResult is one engine's best-of-three timing.
+type CPUEngineResult struct {
+	Seconds float64 `json:"seconds"`
+	GFLOPS  float64 `json:"gflops"`
+}
+
+// CPUAssemblyResult is the chunk-assembly timing: reassembling the
+// product from a 4x4 chunk grid, reported as output non-zeros per
+// second since assembly is bandwidth- rather than flop-bound.
+type CPUAssemblyResult struct {
+	GridRows   int     `json:"grid_rows"`
+	GridCols   int     `json:"grid_cols"`
+	Seconds    float64 `json:"seconds"`
+	OutputNnz  int64   `json:"output_nnz"`
+	MnnzPerSec float64 `json:"mnnz_per_sec"`
+}
+
+// bestOf times fn reps times and returns the fastest run in seconds.
+func bestOf(reps int, fn func() error) (float64, error) {
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		s := time.Since(start).Seconds()
+		if i == 0 || s < best {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// CPUBench benchmarks every real CPU engine on one skewed R-MAT
+// matrix (the same generator as the scheduler benchmarks, so numbers
+// line up with `go test -bench MultiplySchedulers`). It returns the
+// printable table plus the JSON report for BENCH_cpu.json.
+func CPUBench() (*Table, *CPUBenchReport, error) {
+	const reps = 3
+	a := matgen.RMAT(12, 16, 0.6, 0.19, 0.19, 7)
+	flops := csr.Flops(a, a)
+	threads := parallel.Workers(0)
+
+	rep := &CPUBenchReport{
+		Matrix:  "rmat-12 (scale 12, edge factor 16, a=0.6)",
+		Rows:    a.Rows,
+		Cols:    a.Cols,
+		Nnz:     a.Nnz(),
+		Flops:   flops,
+		Threads: threads,
+		Engines: map[string]CPUEngineResult{},
+	}
+
+	engines := []struct {
+		name string
+		run  func() (*csr.Matrix, error)
+	}{
+		{"hash", func() (*csr.Matrix, error) {
+			return cpuspgemm.Multiply(a, a, cpuspgemm.Options{Method: cpuspgemm.Hash})
+		}},
+		{"hash-static", func() (*csr.Matrix, error) {
+			return cpuspgemm.MultiplyStatic(a, a, cpuspgemm.Options{Method: cpuspgemm.Hash})
+		}},
+		{"dense", func() (*csr.Matrix, error) {
+			return cpuspgemm.Multiply(a, a, cpuspgemm.Options{Method: cpuspgemm.Dense})
+		}},
+		{"esc", func() (*csr.Matrix, error) {
+			return cpuspgemm.Multiply(a, a, cpuspgemm.Options{Method: cpuspgemm.ESC})
+		}},
+		{"merge", func() (*csr.Matrix, error) {
+			return cpuspgemm.MultiplyMerge(a, a, 0)
+		}},
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("CPU engines: %s, %d threads, best of %d", rep.Matrix, threads, reps),
+		Header: []string{"engine", "seconds", "GFLOPS"},
+		Notes: []string{
+			"hash vs hash-static isolates the work-stealing scheduler + accumulator pooling",
+			"written to BENCH_cpu.json by cmd/spgemm-bench -exp=cpu",
+		},
+	}
+	for _, e := range engines {
+		s, err := bestOf(reps, func() error {
+			_, err := e.run()
+			return err
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("cpu bench %s: %w", e.name, err)
+		}
+		r := CPUEngineResult{Seconds: s, GFLOPS: float64(flops) / s / 1e9}
+		rep.Engines[e.name] = r
+		t.Rows = append(t.Rows, []string{e.name, fmt.Sprintf("%.4f", s), fmt.Sprintf("%.3f", r.GFLOPS)})
+	}
+	if st := rep.Engines["hash-static"].Seconds; st > 0 {
+		rep.SpeedupHashVsStatic = st / rep.Engines["hash"].Seconds
+	}
+
+	asm, err := benchAssembly(a, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("assembly %dx%d", asm.GridRows, asm.GridCols),
+		fmt.Sprintf("%.4f", asm.Seconds),
+		fmt.Sprintf("%.1f Mnnz/s", asm.MnnzPerSec),
+	})
+	return t, rep, nil
+}
+
+// benchAssembly times core.AssembleChunks on a 4x4 chunk grid of the
+// product A², with the chunk products computed once outside the timed
+// region.
+func benchAssembly(a *csr.Matrix, rep *CPUBenchReport) (CPUAssemblyResult, error) {
+	const gr, gc = 4, 4
+	rps, err := partition.RowPanels(a, gr)
+	if err != nil {
+		return CPUAssemblyResult{}, err
+	}
+	cps, err := partition.ColPanels(a, gc)
+	if err != nil {
+		return CPUAssemblyResult{}, err
+	}
+	chunks := make([]*csr.Matrix, gr*gc)
+	for r := 0; r < gr; r++ {
+		for c := 0; c < gc; c++ {
+			m, err := cpuspgemm.Multiply(rps[r].M, cps[c].M, cpuspgemm.Options{})
+			if err != nil {
+				return CPUAssemblyResult{}, err
+			}
+			chunks[r*gc+c] = m
+		}
+	}
+	var out *csr.Matrix
+	s, err := bestOf(3, func() error {
+		out, err = core.AssembleChunks(a.Rows, a.Cols, gr, gc,
+			func(r, c int) *csr.Matrix { return chunks[r*gc+c] },
+			func(r int) int { return rps[r].Start },
+			func(c int) int { return cps[c].Start },
+		)
+		return err
+	})
+	if err != nil {
+		return CPUAssemblyResult{}, err
+	}
+	asm := CPUAssemblyResult{
+		GridRows:   gr,
+		GridCols:   gc,
+		Seconds:    s,
+		OutputNnz:  out.Nnz(),
+		MnnzPerSec: float64(out.Nnz()) / s / 1e6,
+	}
+	rep.Assembly = asm
+	return asm, nil
+}

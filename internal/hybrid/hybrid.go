@@ -211,7 +211,11 @@ func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, 
 			nc := len(eng.ColPanels)
 			rp, cp := eng.RowPanels[id/nc], eng.ColPanels[id%nc]
 			// Real multi-core multiplication (the hash implementation
-			// the paper takes from Nagasaka et al.).
+			// the paper takes from Nagasaka et al.). Multiply runs on
+			// the shared work-stealing runtime and recycles its
+			// accumulators through the internal/accum pool, so
+			// successive chunks here reuse the tables the previous
+			// chunk grew.
 			c, err := cpuspgemm.Multiply(rp.M, cp.M, cpuspgemm.Options{
 				Threads: opts.Host.Threads, Method: cpuspgemm.Hash,
 			})
