@@ -6,14 +6,19 @@
 //
 //	spgemm-bench -exp=all
 //	spgemm-bench -exp=fig7,table3
+//	spgemm-bench -engine=hybrid -trace=hybrid.json
 //
 // Experiments: table1, table2, fig4, fig7, fig8, fig9, fig10, table3.
+// -engine benchmarks one registered engine (see spgemm.Engines()) and
+// writes BENCH_<name>.json; -trace additionally writes the run's
+// Chrome trace-event profile.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,12 +26,25 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/trace"
+	"repro/spgemm"
 )
 
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiments to run (cpu,table1,table2,fig4,fig7,fig8,fig9,fig10,table3,scaling,distributed,gridsweep,ablation-ub,ablation-um,ablation-split,timeline,all)")
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
+	engFlag := flag.String("engine", "", "benchmark one registered engine ("+strings.Join(spgemm.Engines(), ", ")+") and write BENCH_<name>.json")
+	traceFlag := flag.String("trace", "", "with -engine: write the run's Chrome trace-event JSON to this file")
 	flag.Parse()
+
+	if *engFlag != "" {
+		if err := runEngineBench(*engFlag, *traceFlag, *csvDir); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *traceFlag != "" {
+		fail(fmt.Errorf("-trace requires -engine"))
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
@@ -106,6 +124,49 @@ func main() {
 	if ran == 0 {
 		fail(fmt.Errorf("no experiment matches %q", *expFlag))
 	}
+}
+
+// runEngineBench benchmarks one registered engine with the metrics
+// layer attached, prints the table, writes BENCH_<name>.json and
+// optionally the Chrome trace.
+func runEngineBench(name, traceFile, csvDir string) error {
+	var traceOut io.Writer
+	var traceF *os.File
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		traceF, traceOut = f, f
+	}
+	t, rep, err := exp.EngineBench(name, traceOut)
+	if traceF != nil {
+		if cerr := traceF.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out := "BENCH_" + name + ".json"
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote " + out)
+	if traceFile != "" {
+		fmt.Printf("wrote %s (load at chrome://tracing)\n", traceFile)
+	}
+	if csvDir != "" {
+		return writeCSV(csvDir, "engine-"+name, t)
+	}
+	return nil
 }
 
 // runCPUBench times every real CPU engine plus chunk assembly,

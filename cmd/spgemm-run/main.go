@@ -1,14 +1,19 @@
 // Command spgemm-run multiplies two Matrix Market files (or a file by
-// itself) with a chosen engine and optionally writes the product.
+// itself) with any registered engine and optionally writes the product
+// and a Chrome-tracing profile.
 //
 // Usage:
 //
-//	spgemm-run -a=A.mtx [-b=B.mtx] [-engine=cpu|gpu|gpu-sync|hybrid]
-//	           [-o=C.mtx] [-devmem=64M] [-rows=4 -cols=4] [-threads=N]
+//	spgemm-run -a=A.mtx [-b=B.mtx] [-engine=hybrid] [-o=C.mtx]
+//	           [-devmem=64M] [-rows=4 -cols=4] [-threads=N]
+//	           [-gpus=2] [-q=2] [-trace=run.json] [-verify]
 //
 // With -b omitted the tool computes A·A (the convention of the paper's
-// evaluation). The gpu engines run on the simulated device and print
-// simulated-time statistics; the product itself is always exact.
+// evaluation). The engine names come from the spgemm registry
+// (spgemm.Engines()); device engines run on the simulated device and
+// report simulated-time statistics, while the product itself is always
+// exact. -trace writes the run's span timeline in Chrome trace-event
+// format (load it at chrome://tracing or https://ui.perfetto.dev).
 package main
 
 import (
@@ -26,11 +31,14 @@ func main() {
 		aPath   = flag.String("a", "", "left input matrix (.mtx, required)")
 		bPath   = flag.String("b", "", "right input matrix (.mtx; default: same as -a)")
 		outPath = flag.String("o", "", "output path for the product (.mtx; omit to skip writing)")
-		engine  = flag.String("engine", "gpu", "engine: cpu, cpu-merge, cpu-outer, gpu (async out-of-core), gpu-sync, hybrid, summa")
+		engine  = flag.String("engine", "gpu", "engine: one of "+strings.Join(spgemm.Engines(), ", "))
 		devmem  = flag.String("devmem", "64M", "simulated device memory (e.g. 512K, 64M, 2G)")
 		rows    = flag.Int("rows", 0, "row panels (0 = plan automatically)")
 		cols    = flag.Int("cols", 0, "column panels (0 = plan automatically)")
 		threads = flag.Int("threads", 0, "CPU threads (0 = GOMAXPROCS)")
+		gpus    = flag.Int("gpus", 0, "device count for the multigpu engine (0 = 1)")
+		q       = flag.Int("q", 2, "process-grid side for the summa engine")
+		trace   = flag.String("trace", "", "write the run's Chrome trace-event JSON to this file")
 		verify  = flag.Bool("verify", false, "cross-check the product against the multi-core CPU engine")
 	)
 	flag.Parse()
@@ -55,59 +63,28 @@ func main() {
 	}
 	cfg := spgemm.V100WithMemory(mem)
 
-	opts := spgemm.OutOfCoreOptions{RowPanels: *rows, ColPanels: *cols}
-	if *rows == 0 || *cols == 0 {
-		if opts, err = spgemm.Plan(a, b, cfg); err != nil {
-			fail(err)
-		}
+	eng, err := spgemm.ByName(*engine)
+	if err != nil {
+		fail(err)
+	}
+	opts := &spgemm.RunOptions{
+		Threads: *threads,
+		Device:  &cfg,
+		Core:    spgemm.OutOfCoreOptions{RowPanels: *rows, ColPanels: *cols},
+		NumGPUs: *gpus,
+		UseCPU:  *gpus > 0,
+		SUMMA:   spgemm.SUMMAConfig{Q: *q, Pipelined: true},
+	}
+	if *trace != "" {
+		opts.Metrics = spgemm.NewCollector()
 	}
 
-	var c *spgemm.Matrix
-	switch *engine {
-	case "cpu", "cpu-merge", "cpu-outer":
-		switch *engine {
-		case "cpu":
-			c, err = spgemm.MultiplyCPU(a, b, *threads)
-		case "cpu-merge":
-			c, err = spgemm.MultiplyCPUMerge(a, b, *threads)
-		default:
-			c, err = spgemm.MultiplyCPUOuter(a, b, *threads)
-		}
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("engine=%s nnz(C)=%d flops=%d\n", *engine, c.Nnz(), spgemm.Flops(a, b))
-	case "summa":
-		var st spgemm.SUMMAStats
-		c, st, err = spgemm.MultiplySUMMA(a, b, spgemm.SUMMAConfig{Q: 2, Pipelined: true})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("engine=summa nodes=%d nnz(C)=%d sim_time=%.3fms GFLOPS=%.3f\n",
-			st.Nodes, c.Nnz(), st.TotalSec*1e3, st.GFLOPS)
-	case "gpu", "gpu-sync":
-		opts.Async = *engine == "gpu"
-		opts.Reorder = opts.Async
-		opts.DynamicAlloc = !opts.Async
-		var st spgemm.Stats
-		c, st, err = spgemm.MultiplyOutOfCore(a, b, cfg, opts)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("engine=%s grid=%dx%d nnz(C)=%d sim_time=%.3fms transfer=%.1f%% GFLOPS=%.3f\n",
-			*engine, opts.RowPanels, opts.ColPanels, c.Nnz(),
-			st.TotalSec*1e3, st.TransferFraction*100, st.GFLOPS)
-	case "hybrid":
-		var st spgemm.HybridStats
-		c, st, err = spgemm.MultiplyHybrid(a, b, cfg, spgemm.HybridOptions{Core: opts, Reorder: true})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("engine=hybrid grid=%dx%d nnz(C)=%d sim_time=%.3fms GPU_chunks=%d CPU_chunks=%d GFLOPS=%.3f\n",
-			opts.RowPanels, opts.ColPanels, c.Nnz(), st.TotalSec*1e3, st.GPUChunks, st.CPUChunks, st.GFLOPS)
-	default:
-		fail(fmt.Errorf("unknown engine %q", *engine))
+	c, report, err := eng.Run(a, b, opts)
+	if err != nil {
+		fail(err)
 	}
+	fmt.Printf("engine=%s nnz(C)=%d flops=%d time=%.3fms GFLOPS=%.3f\n",
+		*engine, report.OutputNnz(), report.FlopCount(), report.Seconds()*1e3, report.Throughput())
 
 	if *verify {
 		ref, err := spgemm.MultiplyCPU(a, b, *threads)
@@ -118,6 +95,21 @@ func main() {
 			fail(fmt.Errorf("verification FAILED: product differs from the CPU engine"))
 		}
 		fmt.Println("verified: product matches the multi-core CPU engine")
+	}
+
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fail(err)
+		}
+		if err := opts.Metrics.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (load at chrome://tracing)\n", *trace)
 	}
 
 	if *outPath != "" {

@@ -22,17 +22,15 @@ func main() {
 	// is far larger than the input and exceeds the simulated device
 	// memory, so the out-of-core machinery is essential.
 	cfg := spgemm.V100WithMemory(48 << 20)
-	opts, err := spgemm.Plan(a, a, cfg)
+	eng, err := spgemm.ByName("hybrid")
 	if err != nil {
 		log.Fatal(err)
 	}
-	a2, stats, err := spgemm.MultiplyHybrid(a, a, cfg, spgemm.HybridOptions{
-		Core:    opts,
-		Reorder: true,
-	})
+	a2, report, err := eng.Run(a, a, &spgemm.RunOptions{Device: &cfg})
 	if err != nil {
 		log.Fatal(err)
 	}
+	stats := report.(spgemm.HybridStats)
 	fmt.Printf("A²: %d vertex pairs connected by 2-hop paths\n", a2.Nnz())
 	fmt.Printf("hybrid run: %d chunks on GPU, %d on CPU, %.3f ms simulated, %.3f GFLOPS\n",
 		stats.GPUChunks, stats.CPUChunks, stats.TotalSec*1e3, stats.GFLOPS)

@@ -26,17 +26,26 @@ func main() {
 	core.RowPanels, core.ColPanels = core.RowPanels*2, core.ColPanels*2
 	fmt.Printf("chunk grid: %dx%d\n\n", core.RowPanels, core.ColPanels)
 
+	// The multi-GPU implementation is a registered engine like any
+	// other; only RunOptions.NumGPUs changes between runs.
+	eng, err := spgemm.ByName("multigpu")
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var ref *spgemm.Matrix
 	var base float64
 	fmt.Println("GPUs  sim-ms   GFLOPS  speedup  chunks/GPU")
 	for _, n := range []int{1, 2, 4, 8} {
-		c, st, err := spgemm.MultiplyMultiGPU(a, a, cfg, spgemm.MultiGPUOptions{
+		c, report, err := eng.Run(a, a, &spgemm.RunOptions{
+			Device:  &cfg,
 			Core:    core,
 			NumGPUs: n,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		st := report.(spgemm.MultiGPUStats)
 		if ref == nil {
 			ref = c
 			base = st.TotalSec
@@ -48,7 +57,8 @@ func main() {
 	}
 
 	// Add the CPU as one more worker.
-	_, st, err := spgemm.MultiplyMultiGPU(a, a, cfg, spgemm.MultiGPUOptions{
+	_, report, err := eng.Run(a, a, &spgemm.RunOptions{
+		Device:  &cfg,
 		Core:    core,
 		NumGPUs: 8,
 		UseCPU:  true,
@@ -56,6 +66,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	st := report.(spgemm.MultiGPUStats)
 	fmt.Printf("\n8 GPUs + CPU: %.3f ms (%.3f GFLOPS), CPU took %d chunks\n",
 		st.TotalSec*1e3, st.GFLOPS, st.CPUChunks)
 }

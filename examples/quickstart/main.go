@@ -20,7 +20,8 @@ func main() {
 	cfg := spgemm.V100WithMemory(16 << 20)
 
 	// Plan a chunk grid that fits the device, then run the paper's
-	// asynchronous out-of-core pipeline.
+	// asynchronous out-of-core pipeline via the engine registry: every
+	// implementation is a named spgemm.Engine with one Run signature.
 	opts, err := spgemm.Plan(a, a, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -28,13 +29,21 @@ func main() {
 	fmt.Printf("planned chunk grid: %d row panels x %d column panels\n",
 		opts.RowPanels, opts.ColPanels)
 
-	c, stats, err := spgemm.MultiplyOutOfCore(a, a, cfg, opts)
+	eng, err := spgemm.ByName("gpu")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, report, err := eng.Run(a, a, &spgemm.RunOptions{Device: &cfg, Core: opts})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("C = A·A: %d non-zeros (%.1fx the input)\n", c.Nnz(), float64(c.Nnz())/float64(a.Nnz()))
-	fmt.Printf("simulated time %.3f ms, %.1f%% spent in PCIe transfers, %.3f GFLOPS\n",
-		stats.TotalSec*1e3, stats.TransferFraction*100, stats.GFLOPS)
+	// Report is the engine-independent view; the concrete stats type
+	// still carries the engine-specific fields.
+	fmt.Printf("simulated time %.3f ms, %.3f GFLOPS\n", report.Seconds()*1e3, report.Throughput())
+	if stats, ok := report.(spgemm.Stats); ok {
+		fmt.Printf("%.1f%% of the run spent in PCIe transfers\n", stats.TransferFraction*100)
+	}
 
 	// The simulated-GPU result is numerically exact: check it against
 	// the real multi-core CPU engine.

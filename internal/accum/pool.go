@@ -1,6 +1,9 @@
 package accum
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Accumulator pooling. The SpGEMM survey literature identifies per-row
 // accumulator allocation churn as a recurring CPU bottleneck: a
@@ -16,14 +19,28 @@ import "sync"
 // before pooling so a pooled accumulator never leaks a previous row.
 
 var (
-	hashPool  = sync.Pool{New: func() any { return NewHash(16) }}
-	densePool = sync.Pool{New: func() any { return NewDense(0) }}
-	sortPool  = sync.Pool{New: func() any { return NewSort(16) }}
+	hashPool  = sync.Pool{New: func() any { poolNews.Add(1); return NewHash(16) }}
+	densePool = sync.Pool{New: func() any { poolNews.Add(1); return NewDense(0) }}
+	sortPool  = sync.Pool{New: func() any { poolNews.Add(1); return NewSort(16) }}
+
+	// poolGets counts Get* calls and poolNews the pool misses that fell
+	// through to a fresh allocation, so the observability layer can
+	// report the pool hit rate (gets - news hits). Both are process-wide
+	// monotonic counters; consumers diff snapshots around a run.
+	poolGets atomic.Int64
+	poolNews atomic.Int64
 )
+
+// PoolCounters returns the process-wide accumulator-pool counters:
+// total Get* calls and the subset that missed the pool and allocated.
+func PoolCounters() (gets, news int64) {
+	return poolGets.Load(), poolNews.Load()
+}
 
 // GetHash returns an empty pooled hash accumulator able to hold at
 // least capacity distinct columns before growing.
 func GetHash(capacity int) *Hash {
+	poolGets.Add(1)
 	h := hashPool.Get().(*Hash)
 	h.Grow(capacity)
 	return h
@@ -39,6 +56,7 @@ func PutHash(h *Hash) {
 // GetDense returns an empty pooled dense accumulator covering columns
 // [0, width).
 func GetDense(width int) *Dense {
+	poolGets.Add(1)
 	d := densePool.Get().(*Dense)
 	d.Grow(width)
 	return d
@@ -53,6 +71,7 @@ func PutDense(d *Dense) {
 // GetSort returns an empty pooled ESC accumulator with at least the
 // given expansion capacity.
 func GetSort(capacity int) *Sort {
+	poolGets.Add(1)
 	s := sortPool.Get().(*Sort)
 	s.Grow(capacity)
 	return s

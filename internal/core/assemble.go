@@ -19,6 +19,7 @@ func (e *Engine) Assemble() (*csr.Matrix, error) {
 			return nil, fmt.Errorf("core: chunk %d missing (processed %d of %d)", id, len(e.Results), e.NumChunks())
 		}
 	}
+	defer e.Opts.Metrics.StartWall("host", "assemble")()
 	return AssembleChunks(e.rows, e.cols, len(e.RowPanels), nc,
 		func(r, c int) *csr.Matrix { return e.Results[r*nc+c].C },
 		func(r int) int { return e.RowPanels[r].Start },

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/csr"
 	"repro/internal/gpusim"
+	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/speck"
@@ -63,6 +64,12 @@ type Options struct {
 	// PartitionThreads sets the parallelism of the host-side column
 	// partitioner; 0 means 4.
 	PartitionThreads int
+	// Metrics is an optional observability sink. When set, the run
+	// publishes its simulated timeline, wall-clock host phases
+	// (partitioning, assembly) and counters (bytes moved, flops,
+	// chunks, mallocs) into it. Nil disables instrumentation at the
+	// cost of a pointer comparison.
+	Metrics *metrics.Collector
 }
 
 func (o Options) withDefaults() Options {
@@ -112,6 +119,34 @@ type Stats struct {
 	Mallocs int
 	// Chunks is RowPanels*ColPanels.
 	Chunks int
+	// BytesH2D and BytesD2H are the payload bytes moved over each DMA
+	// engine; their sum is the "bytes moved" a trace must reconcile.
+	BytesH2D, BytesD2H int64
+}
+
+// Seconds returns the simulated makespan; part of metrics.Report.
+func (s Stats) Seconds() float64 { return s.TotalSec }
+
+// FlopCount returns the multiply-add flop count (x2) of the product.
+func (s Stats) FlopCount() int64 { return s.Flops }
+
+// Throughput returns the run's GFLOPS.
+func (s Stats) Throughput() float64 { return s.GFLOPS }
+
+// OutputNnz returns the product's non-zero count.
+func (s Stats) OutputNnz() int64 { return s.NnzC }
+
+// Counters returns the flat key/value snapshot of the run.
+func (s Stats) Counters() map[string]int64 {
+	return map[string]int64{
+		metrics.CounterFlops:    s.Flops,
+		metrics.CounterBytesH2D: s.BytesH2D,
+		metrics.CounterBytesD2H: s.BytesD2H,
+		metrics.CounterChunks:   int64(s.Chunks),
+		metrics.CounterMallocs:  int64(s.Mallocs),
+		metrics.CounterMemPeak:  s.MemPeakBytes,
+		metrics.CounterNnzC:     s.NnzC,
+	}
 }
 
 // Engine drives the out-of-core multiplication of one (A, B) pair on a
@@ -145,6 +180,7 @@ func NewEngine(dev *gpusim.Device, a, b *csr.Matrix, opts Options) (*Engine, err
 	if opts.RowPanels > a.Rows && a.Rows > 0 {
 		return nil, fmt.Errorf("core: %d row panels for %d rows", opts.RowPanels, a.Rows)
 	}
+	stopPartition := opts.Metrics.StartWall("host", "partition")
 	rps, err := partition.RowPanels(a, opts.RowPanels)
 	if err != nil {
 		return nil, err
@@ -153,6 +189,7 @@ func NewEngine(dev *gpusim.Device, a, b *csr.Matrix, opts Options) (*Engine, err
 	if err != nil {
 		return nil, err
 	}
+	stopPartition()
 	return &Engine{
 		Dev:       dev,
 		Opts:      opts,
@@ -240,7 +277,25 @@ func RunTraced(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Ma
 	if err != nil {
 		return nil, Stats{}, nil, err
 	}
-	return c, eng.stats(env, c), env.Timeline, nil
+	st := eng.stats(env, c)
+	eng.PublishMetrics(env, st)
+	return c, st, env.Timeline, nil
+}
+
+// PublishMetrics exports the run's simulated timeline and counters
+// into the engine's metrics collector (no-op when none is configured).
+// Callers that drive the environment themselves (hybrid, multigpu)
+// invoke it after computing their stats so instrumentation lands once,
+// here, rather than per engine.
+func (e *Engine) PublishMetrics(env *sim.Env, st Stats) {
+	c := e.Opts.Metrics
+	if c == nil {
+		return
+	}
+	c.ImportSim(env.Timeline)
+	for k, v := range st.Counters() {
+		c.Add(k, v)
+	}
 }
 
 // stats collects run statistics from the environment.
@@ -259,6 +314,8 @@ func (e *Engine) stats(env *sim.Env, c *csr.Matrix) Stats {
 		MemPeakBytes: e.Dev.MemPeak(),
 		Mallocs:      e.Dev.Mallocs(),
 		Chunks:       e.NumChunks(),
+		BytesH2D:     e.Dev.BytesH2D(),
+		BytesD2H:     e.Dev.BytesD2H(),
 	}
 	if c != nil {
 		st.NnzC = c.Nnz()

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/accum"
 	"repro/internal/csr"
+	"repro/internal/metrics"
 	"repro/internal/parallel"
 )
 
@@ -59,6 +60,11 @@ type Options struct {
 	// Method selects the accumulator; the default is Hash, matching the
 	// implementation the paper uses from Nagasaka et al.
 	Method Method
+	// Metrics is an optional observability sink: the run records
+	// wall-clock spans for its symbolic and numeric phases plus flop,
+	// row and accumulator-pool counters. Nil (the default) keeps the
+	// hot path untouched beyond a pointer comparison.
+	Metrics *metrics.Collector
 }
 
 func (o Options) threads() int {
@@ -109,13 +115,21 @@ func Multiply(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
 	// contributes one candidate column), so it doubles as the
 	// accumulator sizing bound — the seed's separate maxUpperBound
 	// rescan per phase is gone.
+	stopAnalysis := opts.Metrics.StartWall("cpu", "row analysis")
 	rowFlops := csr.RowFlops(a, b)
 	bounds := parallel.CostBounds(rowFlops, nt)
+	stopAnalysis()
+
+	var poolGets0, poolNews0 int64
+	if opts.Metrics.Enabled() {
+		poolGets0, poolNews0 = accum.PoolCounters()
+	}
 
 	c := &csr.Matrix{Rows: a.Rows, Cols: b.Cols, RowOffsets: make([]int64, a.Rows+1)}
 	rowNnz := make([]int64, a.Rows)
 
 	// Symbolic phase: count distinct columns per output row.
+	stopSymbolic := opts.Metrics.StartWall("cpu", "symbolic")
 	parallel.ForChunks(nt, bounds, func(lo, hi int) {
 		acc := getAccumulator(opts.Method, b.Cols, chunkBound(rowFlops, lo, hi))
 		defer accum.Put(acc)
@@ -130,6 +144,7 @@ func Multiply(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
 			rowNnz[i] = int64(acc.FlushSymbolic())
 		}
 	})
+	stopSymbolic()
 
 	// Prefix sum gives the final row offsets; allocation is now exact.
 	parallel.PrefixSum(nt, c.RowOffsets, rowNnz)
@@ -139,6 +154,7 @@ func Multiply(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
 
 	// Numeric phase: recompute with values, writing into the allocated
 	// arrays at each row's offset.
+	stopNumeric := opts.Metrics.StartWall("cpu", "numeric")
 	parallel.ForChunks(nt, bounds, func(lo, hi int) {
 		acc := getAccumulator(opts.Method, b.Cols, chunkBound(rowFlops, lo, hi))
 		defer accum.Put(acc)
@@ -159,6 +175,19 @@ func Multiply(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
 			acc.Flush(c.ColIDs[off:off:end], c.Data[off:off:end])
 		}
 	})
+	stopNumeric()
+	if m := opts.Metrics; m.Enabled() {
+		gets, news := accum.PoolCounters()
+		m.Add(metrics.CounterPoolGets, gets-poolGets0)
+		m.Add(metrics.CounterPoolNews, news-poolNews0)
+		var flops int64
+		for _, f := range rowFlops {
+			flops += f
+		}
+		m.Add(metrics.CounterFlops, flops)
+		m.Add(metrics.CounterRows, int64(a.Rows))
+		m.Add(metrics.CounterNnzC, nnz)
+	}
 	return c, nil
 }
 

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/csr"
+	"repro/internal/matgen"
+	"repro/spgemm"
+)
+
+// EngineBenchReport is the machine-readable result of one registered
+// engine's benchmark run (-engine=<name>), written to
+// BENCH_<name>.json. Seconds is the engine's own Report time —
+// wall-clock for the real-CPU engines, simulated for the device ones —
+// and Snapshot is the metrics collector's flat key/value dump
+// (counters plus per-lane busy times and makespans), so figure runners
+// and CI trend checks read one schema for every engine.
+type EngineBenchReport struct {
+	Engine    string           `json:"engine"`
+	Describe  string           `json:"describe"`
+	Matrix    string           `json:"matrix"`
+	Rows      int              `json:"rows"`
+	Cols      int              `json:"cols"`
+	Nnz       int64            `json:"nnz"`
+	Flops     int64            `json:"flops"`
+	Seconds   float64          `json:"seconds"`
+	GFLOPS    float64          `json:"gflops"`
+	OutputNnz int64            `json:"output_nnz"`
+	Snapshot  map[string]int64 `json:"snapshot"`
+}
+
+// EngineBench runs one registered engine on the skewed R-MAT benchmark
+// matrix (the CPU bench generator, so numbers line up across engines)
+// with a metrics collector attached. When traceOut is non-nil the
+// collector's Chrome trace is written there. It returns the printable
+// table and the JSON report for BENCH_<name>.json.
+func EngineBench(name string, traceOut io.Writer) (*Table, *EngineBenchReport, error) {
+	eng, err := spgemm.ByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	a := matgen.RMAT(12, 16, 0.6, 0.19, 0.19, 7)
+
+	m := spgemm.NewCollector()
+	opts := &spgemm.RunOptions{Metrics: m}
+	c, report, err := eng.Run(a, a, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine %s: %w", name, err)
+	}
+	if got := c.Nnz(); got != report.OutputNnz() {
+		return nil, nil, fmt.Errorf("engine %s: report nnz %d != product nnz %d", name, report.OutputNnz(), got)
+	}
+
+	rep := &EngineBenchReport{
+		Engine:    name,
+		Describe:  spgemm.Describe(name),
+		Matrix:    "rmat-12 (scale 12, edge factor 16, a=0.6)",
+		Rows:      a.Rows,
+		Cols:      a.Cols,
+		Nnz:       a.Nnz(),
+		Flops:     csr.Flops(a, a),
+		Seconds:   report.Seconds(),
+		GFLOPS:    report.Throughput(),
+		OutputNnz: report.OutputNnz(),
+		Snapshot:  m.Snapshot(),
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Engine %s: %s", name, rep.Matrix),
+		Header: []string{"key", "value"},
+		Notes: []string{
+			spgemm.Describe(name),
+			"seconds are the engine's Report time (wall-clock for cpu*, simulated otherwise)",
+			fmt.Sprintf("written to BENCH_%s.json by cmd/spgemm-bench -engine=%s", name, name),
+		},
+		Rows: [][]string{
+			{"seconds", fmt.Sprintf("%.4f", rep.Seconds)},
+			{"GFLOPS", fmt.Sprintf("%.3f", rep.GFLOPS)},
+			{"nnz(C)", fmt.Sprintf("%d", rep.OutputNnz)},
+			{"flops", fmt.Sprintf("%d", rep.Flops)},
+		},
+	}
+	for _, k := range spgemm.SnapshotKeys(rep.Snapshot) {
+		t.Rows = append(t.Rows, []string{k, fmt.Sprintf("%d", rep.Snapshot[k])})
+	}
+
+	if traceOut != nil {
+		if err := m.WriteChromeTrace(traceOut); err != nil {
+			return nil, nil, fmt.Errorf("engine %s: chrome trace: %w", name, err)
+		}
+	}
+	return t, rep, nil
+}

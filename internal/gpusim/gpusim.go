@@ -139,6 +139,10 @@ type Device struct {
 	// mallocs counts Malloc calls, a cheap proxy used by tests and by
 	// the dynamic-vs-preallocated comparison.
 	mallocs int
+	// bytesH2D and bytesD2H accumulate the payload bytes moved over
+	// each DMA engine (including unified-memory migrations), the
+	// "bytes moved" counters of the observability layer.
+	bytesH2D, bytesD2H int64
 }
 
 // NewDevice creates a device within the environment.
@@ -161,6 +165,12 @@ func (d *Device) MemPeak() int64 { return d.memPeak }
 // Mallocs reports how many device allocations have been performed.
 func (d *Device) Mallocs() int { return d.mallocs }
 
+// BytesH2D reports the total payload bytes moved host-to-device.
+func (d *Device) BytesH2D() int64 { return d.bytesH2D }
+
+// BytesD2H reports the total payload bytes moved device-to-host.
+func (d *Device) BytesD2H() int64 { return d.bytesD2H }
+
 // transferTime converts a byte count to seconds on a DMA engine.
 func (d *Device) transferTime(bytes int64, bw float64) sim.Duration {
 	secs := d.Cfg.TransferLatency + float64(bytes)/bw
@@ -176,11 +186,13 @@ func (d *Device) transferTime(bytes int64, bw float64) sim.Duration {
 
 // TransferH2D moves bytes from host to device, occupying the H2D engine.
 func (d *Device) TransferH2D(p *sim.Proc, label string, bytes int64) {
+	d.bytesH2D += bytes
 	p.Use(d.H2D, label, d.transferTime(bytes, d.Cfg.H2DBandwidth))
 }
 
 // TransferD2H moves bytes from device to host, occupying the D2H engine.
 func (d *Device) TransferD2H(p *sim.Proc, label string, bytes int64) {
+	d.bytesD2H += bytes
 	p.Use(d.D2H, label, d.transferTime(bytes, d.Cfg.D2HBandwidth))
 }
 
@@ -264,6 +276,7 @@ func (d *Device) Unreserve(bytes int64) { d.memUsed -= bytes }
 func (d *Device) UMRead(p *sim.Proc, label string, bytes int64) {
 	pages := (bytes + d.Cfg.UMPageBytes - 1) / d.Cfg.UMPageBytes
 	secs := float64(pages)*d.Cfg.UMFaultLatency + float64(bytes)/d.Cfg.UMBandwidth
+	d.bytesH2D += bytes
 	p.Use(d.H2D, "um "+label, sim.Seconds(secs))
 }
 
@@ -272,6 +285,7 @@ func (d *Device) UMRead(p *sim.Proc, label string, bytes int64) {
 func (d *Device) UMWrite(p *sim.Proc, label string, bytes int64) {
 	pages := (bytes + d.Cfg.UMPageBytes - 1) / d.Cfg.UMPageBytes
 	secs := float64(pages)*d.Cfg.UMFaultLatency + float64(bytes)/d.Cfg.UMBandwidth
+	d.bytesD2H += bytes
 	p.Use(d.D2H, "um "+label, sim.Seconds(secs))
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cpuspgemm"
 	"repro/internal/csr"
 	"repro/internal/gpusim"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/speck"
 )
@@ -90,6 +91,10 @@ type Options struct {
 	// exactly this many chunks (in schedule order) to the GPU. The
 	// exhaustive search behind the paper's Table III uses it.
 	ForceGPUChunks int
+	// Metrics is an optional observability sink; it receives the
+	// combined GPU+CPU timeline and the split counters. It also
+	// propagates to the underlying core engine and its CPU worker.
+	Metrics *metrics.Collector
 }
 
 // Stats extends the core stats with the split between devices.
@@ -103,6 +108,18 @@ type Stats struct {
 	GPUSec, CPUSec float64
 	// Ratio is the flop share requested for the GPU.
 	Ratio float64
+}
+
+// Counters extends the core counters with the device split, keeping
+// Stats a metrics.Report (Seconds, FlopCount, ... promote from the
+// embedded core.Stats).
+func (s Stats) Counters() map[string]int64 {
+	out := s.Stats.Counters()
+	out["gpu_chunks"] = int64(s.GPUChunks)
+	out["cpu_chunks"] = int64(s.CPUChunks)
+	out["gpu_flops"] = s.GPUFlops
+	out["cpu_flops"] = s.CPUFlops
+	return out
 }
 
 // Split computes Algorithm 4's chunk assignment: it returns the chunk
@@ -165,6 +182,10 @@ func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, 
 	// The GPU worker's own chunk list is already ordered by the split;
 	// core-level reordering must not permute it again.
 	opts.Core.Reorder = false
+	// The engine records host-side wall phases (partition, assemble)
+	// into the same collector; counters and the timeline are published
+	// once, below, after the run completes.
+	opts.Core.Metrics = opts.Metrics
 
 	env := sim.NewEnv()
 	dev := gpusim.NewDevice(env, cfg)
@@ -216,6 +237,9 @@ func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, 
 			// accumulators through the internal/accum pool, so
 			// successive chunks here reuse the tables the previous
 			// chunk grew.
+			// The worker's own metrics stay off here: the hybrid run
+			// publishes one combined counter set below, and the CPU
+			// share is already visible as the timeline's "cpu" lane.
 			c, err := cpuspgemm.Multiply(rp.M, cp.M, cpuspgemm.Options{
 				Threads: opts.Host.Threads, Method: cpuspgemm.Hash,
 			})
@@ -246,6 +270,12 @@ func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, 
 		return nil, Stats{}, err
 	}
 	st.Stats = eng.StatsFor(env, c)
+	if m := opts.Metrics; m != nil {
+		m.ImportSim(env.Timeline)
+		for k, v := range st.Counters() {
+			m.Add(k, v)
+		}
+	}
 	return c, st, nil
 }
 

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export. The format is the JSON "trace event"
+// schema consumed by chrome://tracing and Perfetto: an object with a
+// traceEvents array of complete ("ph":"X") events, timestamps and
+// durations in microseconds, plus metadata ("ph":"M") events naming
+// processes and threads. Each time domain becomes one process (sim =
+// pid 1, wall = pid 2) and each lane one thread within it, so the two
+// clocks never share a track.
+
+// TraceEvent is one entry of the traceEvents array.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the exported file shape.
+type ChromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// chromePID maps a domain to its Chrome-trace process id.
+func chromePID(d Domain) int { return int(d) + 1 }
+
+// BuildChromeTrace converts the collector's spans and counters into
+// the trace-event structure. Counters ride along as args of a single
+// zero-duration summary event so the values survive in the trace file.
+func (c *Collector) BuildChromeTrace() *ChromeTrace {
+	tr := &ChromeTrace{DisplayTimeUnit: "ms"}
+	if c == nil {
+		tr.TraceEvents = []TraceEvent{}
+		return tr
+	}
+	spans := c.Spans()
+
+	// Assign a stable tid per (domain, lane), in first-seen order.
+	type laneKey struct {
+		d    Domain
+		lane string
+	}
+	tids := map[laneKey]int{}
+	domains := map[Domain]bool{}
+	for _, s := range spans {
+		k := laneKey{s.Domain, s.Lane}
+		if _, ok := tids[k]; !ok {
+			tids[k] = len(tids) + 1
+		}
+		domains[s.Domain] = true
+	}
+
+	// Metadata: name the processes and threads.
+	for d := range domains {
+		tr.TraceEvents = append(tr.TraceEvents, TraceEvent{
+			Name: "process_name", Phase: "M", PID: chromePID(d), TID: 0,
+			Args: map[string]any{"name": d.String() + " time"},
+		})
+	}
+	// Deterministic thread-name order for tests and diffs.
+	keys := make([]laneKey, 0, len(tids))
+	for k := range tids {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].d != keys[j].d {
+			return keys[i].d < keys[j].d
+		}
+		return keys[i].lane < keys[j].lane
+	})
+	for _, k := range keys {
+		tr.TraceEvents = append(tr.TraceEvents, TraceEvent{
+			Name: "thread_name", Phase: "M", PID: chromePID(k.d), TID: tids[k],
+			Args: map[string]any{"name": k.lane},
+		})
+	}
+
+	for _, s := range spans {
+		tr.TraceEvents = append(tr.TraceEvents, TraceEvent{
+			Name:  s.Label,
+			Cat:   s.Lane,
+			Phase: "X",
+			TS:    float64(s.Start) / 1e3, // ns -> µs
+			Dur:   float64(s.Dur()) / 1e3,
+			PID:   chromePID(s.Domain),
+			TID:   tids[laneKey{s.Domain, s.Lane}],
+		})
+	}
+
+	if counters := c.Counters(); len(counters) > 0 {
+		args := make(map[string]any, len(counters))
+		for k, v := range counters {
+			args[k] = v
+		}
+		tr.TraceEvents = append(tr.TraceEvents, TraceEvent{
+			Name: "counters", Phase: "I", TS: 0, PID: 1, TID: 0, Args: args,
+		})
+	}
+	return tr
+}
+
+// WriteChromeTrace writes the collector as chrome://tracing JSON.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(c.BuildChromeTrace())
+}

@@ -1,0 +1,281 @@
+// Package metrics is the unified observability layer of the SpGEMM
+// framework: one low-overhead, concurrency-safe event/counter sink
+// shared by both of the repository's time domains — simulated device
+// runs (core, hybrid, multigpu, summa on the internal/sim clock) and
+// real wall-clock CPU engines (cpuspgemm, partitioning, chunk
+// assembly).
+//
+// A Collector records per-phase spans (analysis, symbolic, numeric,
+// h2d, d2h, assemble, ...) and named counters (bytes moved, flops,
+// chunks, device mallocs, accumulator-pool hits). It exports three
+// views:
+//
+//   - a Chrome trace-event JSON file loadable in chrome://tracing /
+//     Perfetto (WriteChromeTrace),
+//   - a flat key/value snapshot consumed by the experiment harness and
+//     the BENCH_*.json files (Snapshot),
+//   - the text Gantt and per-lane utilization tables that
+//     internal/trace renders (Gantt, Utilizations).
+//
+// Instrumentation is disabled by default and must cost ~nothing when
+// off: every method is safe on a nil *Collector and returns
+// immediately, so hot paths guard with a single nil comparison.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Domain distinguishes the two time bases a Collector can hold.
+// Spans from different domains never share a clock; exports keep them
+// in separate Chrome-trace processes and snapshot key prefixes.
+type Domain int
+
+const (
+	// Sim is virtual time from the discrete-event kernel
+	// (internal/sim), in nanoseconds from simulation start.
+	Sim Domain = iota
+	// Wall is real elapsed time, in nanoseconds from collector
+	// creation.
+	Wall
+)
+
+func (d Domain) String() string {
+	switch d {
+	case Sim:
+		return "sim"
+	case Wall:
+		return "wall"
+	default:
+		return "unknown"
+	}
+}
+
+// Span is one recorded interval of work in a single time domain.
+type Span struct {
+	Domain Domain
+	// Lane names the resource or actor ("kernel", "h2d", "d2h",
+	// "cpu", "host", ...).
+	Lane string
+	// Label describes the work ("numeric c3", "symbolic phase", ...).
+	Label string
+	// Start and End are nanoseconds in the span's domain.
+	Start, End int64
+}
+
+// Dur returns the span length in nanoseconds.
+func (s Span) Dur() int64 { return s.End - s.Start }
+
+// Collector accumulates spans and counters for one run. The zero
+// value is not used directly; create one with New. A nil *Collector
+// is the disabled state: every method no-ops.
+//
+// Collectors are safe for concurrent use: counter updates take an
+// atomic fast path and span appends share one mutex (spans are
+// recorded per phase or per simulated operation, far off any
+// per-element hot loop).
+type Collector struct {
+	mu      sync.Mutex
+	spans   []Span
+	start   time.Time // wall-clock epoch for Wall-domain spans
+	counters sync.Map // string -> *int64
+}
+
+// New creates an empty collector whose wall-clock spans are measured
+// from this moment.
+func New() *Collector {
+	return &Collector{start: time.Now()}
+}
+
+// Enabled reports whether the collector records anything (false for a
+// nil collector). Callers with non-trivial setup cost gate on it.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// AddSpan records a fully-formed span. Nil-safe.
+func (c *Collector) AddSpan(s Span) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+}
+
+// SimSpan records a simulated-time span from explicit nanosecond
+// bounds. Nil-safe.
+func (c *Collector) SimSpan(lane, label string, start, end int64) {
+	if c == nil {
+		return
+	}
+	c.AddSpan(Span{Domain: Sim, Lane: lane, Label: label, Start: start, End: end})
+}
+
+// StartWall begins a wall-clock span and returns a function that ends
+// and records it. Nil-safe: the returned stop function of a nil
+// collector does nothing.
+//
+//	stop := col.StartWall("cpu", "numeric phase")
+//	... work ...
+//	stop()
+func (c *Collector) StartWall(lane, label string) func() {
+	if c == nil {
+		return func() {}
+	}
+	start := time.Since(c.start).Nanoseconds()
+	return func() {
+		end := time.Since(c.start).Nanoseconds()
+		c.AddSpan(Span{Domain: Wall, Lane: lane, Label: label, Start: start, End: end})
+	}
+}
+
+// Add increments a named counter by delta. Nil-safe.
+func (c *Collector) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	v, ok := c.counters.Load(name)
+	if !ok {
+		v, _ = c.counters.LoadOrStore(name, new(int64))
+	}
+	atomic.AddInt64(v.(*int64), delta)
+}
+
+// Set stores a counter's absolute value. Nil-safe.
+func (c *Collector) Set(name string, value int64) {
+	if c == nil {
+		return
+	}
+	v, ok := c.counters.Load(name)
+	if !ok {
+		v, _ = c.counters.LoadOrStore(name, new(int64))
+	}
+	atomic.StoreInt64(v.(*int64), value)
+}
+
+// Counter returns a counter's current value (0 when absent or nil).
+func (c *Collector) Counter(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	if v, ok := c.counters.Load(name); ok {
+		return atomic.LoadInt64(v.(*int64))
+	}
+	return 0
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (c *Collector) Spans() []Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Span(nil), c.spans...)
+}
+
+// Counters returns a copy of all counters.
+func (c *Collector) Counters() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	out := map[string]int64{}
+	c.counters.Range(func(k, v any) bool {
+		out[k.(string)] = atomic.LoadInt64(v.(*int64))
+		return true
+	})
+	return out
+}
+
+// LaneBusy sums span time on one lane of one domain, in nanoseconds.
+func (c *Collector) LaneBusy(d Domain, lane string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, s := range c.spans {
+		if s.Domain == d && s.Lane == lane {
+			total += s.Dur()
+		}
+	}
+	return total
+}
+
+// Makespan returns the latest span end per domain, in nanoseconds.
+func (c *Collector) Makespan(d Domain) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var end int64
+	for _, s := range c.spans {
+		if s.Domain == d && s.End > end {
+			end = s.End
+		}
+	}
+	return end
+}
+
+// Standard counter names. Engines that report the same quantity use
+// the same key so exports stay comparable across engines.
+const (
+	CounterFlops    = "flops"
+	CounterBytesH2D = "bytes_h2d"
+	CounterBytesD2H = "bytes_d2h"
+	CounterChunks   = "chunks"
+	CounterMallocs  = "mallocs"
+	CounterMemPeak  = "mem_peak_bytes"
+	CounterNnzC     = "nnz_c"
+	CounterPoolGets = "accum_pool_gets"
+	CounterPoolNews = "accum_pool_news"
+	CounterRows     = "rows"
+)
+
+// Snapshot flattens the collector into sorted key/value pairs: every
+// counter plus, per domain present, "<domain>.<lane>_busy_ns" for each
+// lane and "<domain>.makespan_ns". This is the machine-readable form
+// the experiment harness and BENCH_*.json consume instead of
+// recomputing per-phase totals from raw timelines.
+func (c *Collector) Snapshot() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	out := c.Counters()
+	c.mu.Lock()
+	type key struct {
+		d    Domain
+		lane string
+	}
+	busy := map[key]int64{}
+	mk := map[Domain]int64{}
+	for _, s := range c.spans {
+		busy[key{s.Domain, s.Lane}] += s.Dur()
+		if s.End > mk[s.Domain] {
+			mk[s.Domain] = s.End
+		}
+	}
+	c.mu.Unlock()
+	for k, v := range busy {
+		out[k.d.String()+"."+k.lane+"_busy_ns"] = v
+	}
+	for d, v := range mk {
+		out[d.String()+".makespan_ns"] = v
+	}
+	return out
+}
+
+// SnapshotKeys returns the snapshot's keys in sorted order, for
+// deterministic rendering.
+func SnapshotKeys(snap map[string]int64) []string {
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,25 @@
+package metrics
+
+// Report is the common statistics interface every engine returns: one
+// shape for the out-of-core GPU stats, the hybrid split, the
+// multi-GPU schedule and the distributed SUMMA run, so callers (CLI,
+// experiment harness, benchmarks) read one vocabulary instead of four
+// struct layouts.
+//
+// Seconds is the run's makespan in the engine's own time domain
+// (simulated seconds for device engines, wall seconds for real-CPU
+// engines); Throughput is FlopCount/Seconds/1e9 — the paper's GFLOPS
+// definition. Counters returns the flat key/value view (see the
+// Counter* constants) whose totals reconcile with the run's trace.
+type Report interface {
+	// Seconds is the makespan of the run.
+	Seconds() float64
+	// FlopCount is the multiply-add flop count (x2) of the product.
+	FlopCount() int64
+	// Throughput is FlopCount/Seconds in GFLOPS.
+	Throughput() float64
+	// OutputNnz is the number of non-zeros of the product.
+	OutputNnz() int64
+	// Counters is the flat key/value snapshot of the run's counters.
+	Counters() map[string]int64
+}

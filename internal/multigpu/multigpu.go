@@ -22,6 +22,7 @@ import (
 	"repro/internal/csr"
 	"repro/internal/gpusim"
 	"repro/internal/hybrid"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/speck"
 )
@@ -41,6 +42,9 @@ type Options struct {
 	Ratio float64
 	// Host is the CPU cost model; zero value means the default.
 	Host hybrid.HostModel
+	// Metrics is an optional observability sink receiving the shared
+	// timeline of all devices plus aggregate counters.
+	Metrics *metrics.Collector
 }
 
 // Stats reports a multi-GPU run.
@@ -56,6 +60,38 @@ type Stats struct {
 	CPUChunks int
 	// GPUBusySec[i] is the finish time of GPU i's worker.
 	GPUBusySec []float64
+	// BytesH2D and BytesD2H sum the payload bytes moved by all devices.
+	BytesH2D, BytesD2H int64
+}
+
+// Seconds returns the simulated makespan; part of metrics.Report.
+func (s Stats) Seconds() float64 { return s.TotalSec }
+
+// FlopCount returns the multiply-add flop count (x2) of the product.
+func (s Stats) FlopCount() int64 { return s.Flops }
+
+// Throughput returns the run's GFLOPS.
+func (s Stats) Throughput() float64 { return s.GFLOPS }
+
+// OutputNnz returns the product's non-zero count.
+func (s Stats) OutputNnz() int64 { return s.NnzC }
+
+// Counters returns the flat key/value snapshot of the run.
+func (s Stats) Counters() map[string]int64 {
+	var gpuChunks int64
+	for _, n := range s.GPUChunks {
+		gpuChunks += int64(n)
+	}
+	return map[string]int64{
+		metrics.CounterFlops:    s.Flops,
+		metrics.CounterBytesH2D: s.BytesH2D,
+		metrics.CounterBytesD2H: s.BytesD2H,
+		metrics.CounterChunks:   gpuChunks + int64(s.CPUChunks),
+		metrics.CounterNnzC:     s.NnzC,
+		"gpus":                  int64(len(s.GPUChunks)),
+		"gpu_chunks":            gpuChunks,
+		"cpu_chunks":            int64(s.CPUChunks),
+	}
 }
 
 // Assign distributes chunk ids over n workers with longest-processing-
@@ -193,6 +229,16 @@ func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, 
 	st.NnzC = c.Nnz()
 	if st.TotalSec > 0 {
 		st.GFLOPS = float64(totalFlops) / st.TotalSec / 1e9
+	}
+	for _, eng := range engines {
+		st.BytesH2D += eng.Dev.BytesH2D()
+		st.BytesD2H += eng.Dev.BytesD2H()
+	}
+	if m := opts.Metrics; m != nil {
+		m.ImportSim(env.Timeline)
+		for k, v := range st.Counters() {
+			m.Add(k, v)
+		}
 	}
 	return c, st, nil
 }

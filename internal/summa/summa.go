@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpuspgemm"
 	"repro/internal/csr"
+	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/sim"
 )
@@ -51,6 +52,9 @@ type Config struct {
 	// arrive. This is what lets band-structured matrices (whose work
 	// concentrates in one stage per node) scale.
 	Pipelined bool
+	// Metrics is an optional observability sink receiving the cluster
+	// timeline (net and compute lanes) and the run counters.
+	Metrics *metrics.Collector
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +86,30 @@ type Stats struct {
 	NnzC   int64
 	// Nodes is Q*Q.
 	Nodes int
+	// NetBytes is the total payload broadcast over the fabric.
+	NetBytes int64
+}
+
+// Seconds returns the simulated makespan; part of metrics.Report.
+func (s Stats) Seconds() float64 { return s.TotalSec }
+
+// FlopCount returns the multiply-add flop count (x2) of the product.
+func (s Stats) FlopCount() int64 { return s.Flops }
+
+// Throughput returns the run's GFLOPS.
+func (s Stats) Throughput() float64 { return s.GFLOPS }
+
+// OutputNnz returns the product's non-zero count.
+func (s Stats) OutputNnz() int64 { return s.NnzC }
+
+// Counters returns the flat key/value snapshot of the run.
+func (s Stats) Counters() map[string]int64 {
+	return map[string]int64{
+		metrics.CounterFlops: s.Flops,
+		metrics.CounterNnzC:  s.NnzC,
+		"nodes":              int64(s.Nodes),
+		"net_bytes":          s.NetBytes,
+	}
 }
 
 // block is one distributed block of a matrix with its global offsets.
@@ -251,6 +279,14 @@ func Run(a, b *csr.Matrix, cfg Config) (*csr.Matrix, Stats, error) {
 			}
 			st.CommSec = math.Max(st.CommSec, n.commSec)
 			st.CompSec = math.Max(st.CompSec, n.compSec)
+			for k := 0; k < q; k++ {
+				if k != j {
+					st.NetBytes += ab[i][k].m.Bytes()
+				}
+				if k != i {
+					st.NetBytes += bb[k][j].m.Bytes()
+				}
+			}
 		}
 	}
 
@@ -270,6 +306,12 @@ func Run(a, b *csr.Matrix, cfg Config) (*csr.Matrix, Stats, error) {
 	st.NnzC = c.Nnz()
 	if st.TotalSec > 0 {
 		st.GFLOPS = float64(st.Flops) / st.TotalSec / 1e9
+	}
+	if m := cfg.Metrics; m != nil {
+		m.ImportSim(env.Timeline)
+		for k, v := range st.Counters() {
+			m.Add(k, v)
+		}
 	}
 	return c, st, nil
 }

@@ -2,17 +2,18 @@
 // the Gantt-style schedules of the paper's Figures 5 and 6, and
 // per-lane utilization breakdowns.
 //
-// A timeline comes from internal/sim's span trace. Rendering is plain
-// text so schedules can be inspected in tests and printed by
-// cmd/spgemm-bench -exp=timeline.
+// A timeline comes from internal/sim's span trace. Rendering delegates
+// to internal/metrics — the shared renderer of both time domains — so
+// a simulated timeline and a metrics collector print identically; this
+// package keeps the sim-typed API plus the schedule analyses
+// (LaneOrder, Overlap) that only make sense on one virtual clock.
 package trace
 
 import (
-	"fmt"
 	"io"
 	"sort"
-	"strings"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -20,55 +21,7 @@ import (
 // character cells over the span [0, end of timeline]. Cells covered by
 // a span show '#'; idle cells '.'.
 func Gantt(tl []sim.Span, width int) string {
-	if len(tl) == 0 {
-		return "(empty timeline)\n"
-	}
-	var end sim.Time
-	lanes := map[string][]sim.Span{}
-	var order []string
-	for _, s := range tl {
-		if s.End > end {
-			end = s.End
-		}
-		if _, ok := lanes[s.Lane]; !ok {
-			order = append(order, s.Lane)
-		}
-		lanes[s.Lane] = append(lanes[s.Lane], s)
-	}
-	sort.Strings(order)
-	if end == 0 {
-		end = 1
-	}
-
-	var b strings.Builder
-	nameW := 0
-	for _, l := range order {
-		if len(l) > nameW {
-			nameW = len(l)
-		}
-	}
-	cell := func(lane string, i int) byte {
-		lo := sim.Time(int64(end) * int64(i) / int64(width))
-		hi := sim.Time(int64(end) * int64(i+1) / int64(width))
-		if hi == lo {
-			hi = lo + 1
-		}
-		for _, s := range lanes[lane] {
-			if s.Start < hi && s.End > lo {
-				return '#'
-			}
-		}
-		return '.'
-	}
-	for _, lane := range order {
-		fmt.Fprintf(&b, "%-*s |", nameW, lane)
-		for i := 0; i < width; i++ {
-			b.WriteByte(cell(lane, i))
-		}
-		b.WriteString("|\n")
-	}
-	fmt.Fprintf(&b, "%-*s  0%*s\n", nameW, "", width-1, fmt.Sprintf("%.3fms", sim.SecondsAt(end)*1e3))
-	return b.String()
+	return metrics.Gantt(metrics.FromSim(tl), width)
 }
 
 // Utilization reports, per lane, the busy time and its fraction of the
@@ -81,38 +34,17 @@ type Utilization struct {
 
 // Utilizations computes the per-lane busy fractions of a timeline.
 func Utilizations(tl []sim.Span) []Utilization {
-	var end sim.Time
-	busy := map[string]sim.Duration{}
-	var order []string
-	for _, s := range tl {
-		if s.End > end {
-			end = s.End
-		}
-		if _, ok := busy[s.Lane]; !ok {
-			order = append(order, s.Lane)
-		}
-		busy[s.Lane] += sim.Duration(s.End - s.Start)
-	}
-	sort.Strings(order)
-	out := make([]Utilization, 0, len(order))
-	for _, lane := range order {
-		u := Utilization{Lane: lane, Busy: busy[lane]}
-		if end > 0 {
-			u.Fraction = float64(busy[lane]) / float64(end)
-		}
-		out = append(out, u)
+	us := metrics.Utilizations(metrics.FromSim(tl))
+	out := make([]Utilization, len(us))
+	for i, u := range us {
+		out[i] = Utilization{Lane: u.Lane, Busy: sim.Duration(u.BusyNs), Fraction: u.Fraction}
 	}
 	return out
 }
 
 // FprintUtilization writes a utilization table.
 func FprintUtilization(w io.Writer, tl []sim.Span) error {
-	for _, u := range Utilizations(tl) {
-		if _, err := fmt.Fprintf(w, "%-8s %8.3f ms  %5.1f%%\n", u.Lane, sim.SecondsOf(u.Busy)*1e3, u.Fraction*100); err != nil {
-			return err
-		}
-	}
-	return nil
+	return metrics.FprintUtilization(w, metrics.FromSim(tl))
 }
 
 // LaneOrder returns the labels of one lane's spans in start-time order

@@ -1,0 +1,351 @@
+package spgemm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cpuspgemm"
+	"repro/internal/hybrid"
+	"repro/internal/metrics"
+)
+
+// Report is the common statistics interface every engine returns: the
+// run's duration (simulated seconds for device engines, wall-clock for
+// the real-CPU ones), its work and throughput, and a flat counter
+// snapshot for benchmark files and figure runners. Stats, HybridStats,
+// MultiGPUStats, SUMMAStats and CPUStats all satisfy it.
+type Report = metrics.Report
+
+// Collector is the shared observability sink of the framework: a
+// concurrency-safe recorder of per-phase spans (in both the simulated
+// and the wall-clock time domain) and named counters. A nil *Collector
+// is valid everywhere and records nothing, so disabled instrumentation
+// costs one pointer comparison.
+type Collector = metrics.Collector
+
+// NewCollector returns an enabled metrics collector to pass through
+// RunOptions.Metrics (or the engine-specific option structs).
+func NewCollector() *Collector { return metrics.New() }
+
+// SnapshotKeys returns a snapshot's keys in sorted order, for
+// deterministic printing of Collector.Snapshot maps.
+func SnapshotKeys(snap map[string]int64) []string { return metrics.SnapshotKeys(snap) }
+
+// RunOptions is the one option set shared by every registered engine.
+// The zero value (or a nil pointer) is usable: a V100-class device, an
+// automatically planned chunk grid, default flop ratios and no
+// instrumentation.
+type RunOptions struct {
+	// Threads bounds the real CPU parallelism (0 = GOMAXPROCS). It
+	// applies to the cpu* engines and to the CPU workers of the hybrid
+	// and multi-GPU engines.
+	Threads int
+	// Device is the simulated GPU model; nil means V100().
+	Device *DeviceConfig
+	// Core configures the out-of-core chunk grid and pipeline for the
+	// gpu, gpu-sync, hybrid and multigpu engines. A zero grid
+	// (RowPanels == 0 || ColPanels == 0) is planned automatically with
+	// Plan.
+	Core OutOfCoreOptions
+	// Ratio is the GPU flop share of the hybrid and multigpu engines;
+	// 0 means the engine's calibrated default.
+	Ratio float64
+	// NumGPUs is the device count of the multigpu engine; 0 means 1.
+	NumGPUs int
+	// UseCPU adds the CPU worker to the multigpu engine.
+	UseCPU bool
+	// SUMMA configures the distributed engine (process grid, fabric).
+	SUMMA SUMMAConfig
+	// Metrics, when non-nil, receives every engine's spans and
+	// counters; export it with WriteChromeTrace or Snapshot.
+	Metrics *Collector
+}
+
+func (o *RunOptions) withDefaults() RunOptions {
+	if o == nil {
+		return RunOptions{}
+	}
+	return *o
+}
+
+func (o RunOptions) device() DeviceConfig {
+	if o.Device != nil {
+		return *o.Device
+	}
+	return V100()
+}
+
+// coreOptions resolves the out-of-core options: an explicit grid is
+// kept, a zero grid is planned from the device memory. The engine name
+// (gpu vs gpu-sync) decides the pipeline mode either way.
+func (o RunOptions) coreOptions(a, b *Matrix, async bool) (OutOfCoreOptions, error) {
+	opts := o.Core
+	if opts.RowPanels == 0 || opts.ColPanels == 0 {
+		planned, err := Plan(a, b, o.device())
+		if err != nil {
+			return OutOfCoreOptions{}, err
+		}
+		opts = planned
+	}
+	opts.Async = async
+	opts.Metrics = o.Metrics
+	return opts, nil
+}
+
+// Engine is a named SpGEMM implementation with a uniform entry point.
+// All engines return the exact product; Report carries the per-engine
+// statistics (simulated or wall-clock) behind one interface.
+type Engine interface {
+	// Name is the registry key (e.g. "hybrid").
+	Name() string
+	// Describe is a one-line human-readable summary.
+	Describe() string
+	// Run multiplies A·B. opts may be nil for defaults.
+	Run(a, b *Matrix, opts *RunOptions) (*Matrix, Report, error)
+}
+
+// engine is the registry's function-backed Engine implementation.
+type engine struct {
+	name     string
+	describe string
+	run      func(a, b *Matrix, o RunOptions) (*Matrix, Report, error)
+}
+
+func (e *engine) Name() string     { return e.name }
+func (e *engine) Describe() string { return e.describe }
+func (e *engine) Run(a, b *Matrix, opts *RunOptions) (*Matrix, Report, error) {
+	if err := validateInputs(a, b); err != nil {
+		return nil, nil, err
+	}
+	return e.run(a, b, opts.withDefaults())
+}
+
+var registry = map[string]*engine{}
+
+// Register adds an engine under its name; it panics on duplicates
+// (registration is an init-time act). The built-in engines are
+// registered by this package; external packages may add their own.
+func Register(e Engine) {
+	name := e.Name()
+	if _, dup := registry[name]; dup {
+		panic("spgemm: duplicate engine " + name)
+	}
+	if impl, ok := e.(*engine); ok {
+		registry[name] = impl
+		return
+	}
+	registry[name] = &engine{name: name, describe: e.Describe(), run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
+		return e.Run(a, b, &o)
+	}}
+}
+
+// Engines returns the registered engine names, sorted.
+func Engines() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the one-line description of a registered engine.
+func Describe(name string) string {
+	if e, ok := registry[name]; ok {
+		return e.describe
+	}
+	return ""
+}
+
+// ByName looks up a registered engine. The error lists the valid names
+// so CLI flag errors are self-documenting.
+func ByName(name string) (Engine, error) {
+	if e, ok := registry[name]; ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("spgemm: unknown engine %q (have %v)", name, Engines())
+}
+
+// CPUStats reports a wall-clock run of one of the real-CPU engines.
+type CPUStats struct {
+	// TotalSec is the measured wall-clock duration of the multiply.
+	TotalSec float64
+	// Flops, GFLOPS and NnzC as elsewhere in the framework.
+	Flops  int64
+	GFLOPS float64
+	NnzC   int64
+}
+
+// Seconds returns the wall-clock duration; part of Report.
+func (s CPUStats) Seconds() float64 { return s.TotalSec }
+
+// FlopCount returns the multiply-add flop count (x2) of the product.
+func (s CPUStats) FlopCount() int64 { return s.Flops }
+
+// Throughput returns the run's GFLOPS.
+func (s CPUStats) Throughput() float64 { return s.GFLOPS }
+
+// OutputNnz returns the product's non-zero count.
+func (s CPUStats) OutputNnz() int64 { return s.NnzC }
+
+// Counters returns the flat key/value snapshot of the run.
+func (s CPUStats) Counters() map[string]int64 {
+	return map[string]int64{
+		metrics.CounterFlops: s.Flops,
+		metrics.CounterNnzC:  s.NnzC,
+	}
+}
+
+// cpuStatsFor measures a finished CPU multiply.
+func cpuStatsFor(a, b, c *Matrix, elapsed time.Duration) CPUStats {
+	st := CPUStats{TotalSec: elapsed.Seconds(), Flops: Flops(a, b), NnzC: c.Nnz()}
+	if st.TotalSec > 0 {
+		st.GFLOPS = float64(st.Flops) / st.TotalSec / 1e9
+	}
+	return st
+}
+
+// cpuEngine wraps one of the real-CPU multiplies (already validated)
+// as a registry engine with wall-clock stats.
+func cpuEngine(a, b *Matrix,
+	multiply func() (*Matrix, error)) (*Matrix, Report, error) {
+	start := time.Now()
+	c, err := multiply()
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, cpuStatsFor(a, b, c, time.Since(start)), nil
+}
+
+func init() {
+	Register(&engine{
+		name:     "cpu",
+		describe: "real multi-core two-phase SpGEMM with per-row accumulator selection (Nagasaka et al.)",
+		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
+			return cpuEngine(a, b, func() (*Matrix, error) {
+				return cpuspgemm.Multiply(a, b, cpuspgemm.Options{Threads: o.Threads, Metrics: o.Metrics})
+			})
+		},
+	})
+	Register(&engine{
+		name:     "cpu-merge",
+		describe: "real multi-core SpGEMM with k-way merge accumulation (RMerge family)",
+		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
+			return cpuEngine(a, b, func() (*Matrix, error) {
+				defer o.Metrics.StartWall("host", "cpu-merge")()
+				return cpuspgemm.MultiplyMerge(a, b, o.Threads)
+			})
+		},
+	})
+	Register(&engine{
+		name:     "cpu-outer",
+		describe: "real multi-core outer-product (column-row) SpGEMM",
+		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
+			return cpuEngine(a, b, func() (*Matrix, error) {
+				defer o.Metrics.StartWall("host", "cpu-outer")()
+				return cpuspgemm.OuterProduct(a, b, o.Threads)
+			})
+		},
+	})
+	Register(&engine{
+		name:     "gpu",
+		describe: "out-of-core GPU framework, asynchronous pre-allocated pipeline (paper Section III-B)",
+		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
+			opts, err := o.coreOptions(a, b, true)
+			if err != nil {
+				return nil, nil, err
+			}
+			c, st, err := MultiplyOutOfCore(a, b, o.device(), opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			return c, st, nil
+		},
+	})
+	Register(&engine{
+		name:     "gpu-sync",
+		describe: "out-of-core GPU framework, synchronous baseline (paper Algorithm 3)",
+		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
+			opts, err := o.coreOptions(a, b, false)
+			if err != nil {
+				return nil, nil, err
+			}
+			c, st, err := MultiplyOutOfCore(a, b, o.device(), opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			return c, st, nil
+		},
+	})
+	Register(&engine{
+		name:     "hybrid",
+		describe: "CPU-GPU hybrid with flop-sorted chunk distribution (paper Algorithm 4)",
+		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
+			opts, err := o.coreOptions(a, b, true)
+			if err != nil {
+				return nil, nil, err
+			}
+			hopts := HybridOptions{Core: opts, Ratio: o.Ratio, Reorder: true, Metrics: o.Metrics}
+			if o.Threads != 0 {
+				hopts.Host = hybrid.DefaultHostModel()
+				hopts.Host.Threads = o.Threads
+			}
+			c, st, err := MultiplyHybrid(a, b, o.device(), hopts)
+			if err != nil {
+				return nil, nil, err
+			}
+			return c, st, nil
+		},
+	})
+	Register(&engine{
+		name:     "multigpu",
+		describe: "LPT-scheduled chunks across several simulated GPUs, optional CPU worker",
+		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
+			opts, err := o.coreOptions(a, b, true)
+			if err != nil {
+				return nil, nil, err
+			}
+			mopts := MultiGPUOptions{
+				Core: opts, NumGPUs: o.NumGPUs, UseCPU: o.UseCPU,
+				Ratio: o.Ratio, Metrics: o.Metrics,
+			}
+			if o.Threads != 0 {
+				mopts.Host = hybrid.DefaultHostModel()
+				mopts.Host.Threads = o.Threads
+			}
+			c, st, err := MultiplyMultiGPU(a, b, o.device(), mopts)
+			if err != nil {
+				return nil, nil, err
+			}
+			return c, st, nil
+		},
+	})
+	Register(&engine{
+		name:     "summa",
+		describe: "2-D sparse SUMMA on a simulated cluster (distributed counterpart, reference [33])",
+		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
+			cfg := o.SUMMA
+			cfg.Metrics = o.Metrics
+			if cfg.Threads == 0 {
+				cfg.Threads = o.Threads
+			}
+			c, st, err := MultiplySUMMA(a, b, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			return c, st, nil
+		},
+	})
+	Register(&engine{
+		name:     "auto",
+		describe: "out-of-core GPU with automatic chunk-grid planning and refinement",
+		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
+			c, st, err := runAuto(a, b, o.device(), o.Metrics)
+			if err != nil {
+				return nil, nil, err
+			}
+			return c, st, nil
+		},
+	})
+}

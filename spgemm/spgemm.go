@@ -17,6 +17,18 @@
 // All engines return numerically exact products; the GPU and hybrid
 // engines additionally report simulated-time statistics under the
 // device's cost model. See the examples directory for usage.
+//
+// Besides the Multiply* functions, every implementation (including the
+// multi-GPU and distributed SUMMA extensions) is registered as a named
+// Engine with one uniform entry point:
+//
+//	eng, _ := spgemm.ByName("hybrid")
+//	c, report, _ := eng.Run(a, b, &spgemm.RunOptions{Metrics: spgemm.NewCollector()})
+//
+// Engines() lists the names; Report is the common statistics interface
+// of all engines, and RunOptions.Metrics plugs in the shared
+// observability layer (per-phase spans in simulated and wall-clock
+// time, counters, Chrome-trace export).
 package spgemm
 
 import (
@@ -188,6 +200,9 @@ type MultiGPUStats = multigpu.Stats
 // optionally the CPU) — the scaling extension beyond the paper's
 // single-GPU node.
 func MultiplyMultiGPU(a, b *Matrix, cfg DeviceConfig, opts MultiGPUOptions) (*Matrix, MultiGPUStats, error) {
+	if err := validateInputs(a, b); err != nil {
+		return nil, MultiGPUStats{}, err
+	}
 	return multigpu.Run(a, b, cfg, opts)
 }
 
@@ -201,6 +216,9 @@ type SUMMAStats = summa.Stats
 // cluster of Q x Q nodes — the distributed-memory counterpart of the
 // out-of-core single-node framework (the paper's reference [33]).
 func MultiplySUMMA(a, b *Matrix, cfg SUMMAConfig) (*Matrix, SUMMAStats, error) {
+	if err := validateInputs(a, b); err != nil {
+		return nil, SUMMAStats{}, err
+	}
 	return summa.Run(a, b, cfg)
 }
 
@@ -209,10 +227,17 @@ func MultiplySUMMA(a, b *Matrix, cfg SUMMAConfig) (*Matrix, SUMMAStats, error) {
 // out not to fit the device arena — the situation the paper notes when
 // "certain chunks are extremely dense and require large allocation".
 func MultiplyAuto(a, b *Matrix, cfg DeviceConfig) (*Matrix, Stats, error) {
+	return runAuto(a, b, cfg, nil)
+}
+
+// runAuto is MultiplyAuto with an optional metrics sink (the "auto"
+// registry engine threads its collector through here).
+func runAuto(a, b *Matrix, cfg DeviceConfig, m *Collector) (*Matrix, Stats, error) {
 	opts, err := Plan(a, b, cfg)
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	opts.Metrics = m
 	var lastErr error
 	for attempt := 0; attempt < 4; attempt++ {
 		c, st, err := MultiplyOutOfCore(a, b, cfg, opts)
