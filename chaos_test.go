@@ -1,0 +1,354 @@
+package repro
+
+// Chaos-soak suite for the fault-injection layer: seeded fault
+// scenarios across the gpu, gpu-sync, hybrid and multigpu engines must
+// complete through retry / CPU fallback / device failover with no
+// panic and a product matching the CPU reference, and the recovery
+// counters must reconcile exactly with the injected fault counts.
+//
+// Failing scenarios print their full spec (engine, matrix, fault
+// config) so a CI failure can be replayed locally with a one-line
+// test filter or a spgemm-run -faults invocation.
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/spgemm"
+)
+
+// simSpans filters a collector's timeline down to the simulated-clock
+// domain: wall-domain spans carry real timestamps and legitimately
+// differ between otherwise identical runs.
+func simSpans(spans []metrics.Span) []metrics.Span {
+	var out []metrics.Span
+	for _, s := range spans {
+		if s.Domain == metrics.Sim {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// chaosMatrix rotates over small but structurally distinct inputs:
+// scale-free (hub rows), uniform random, and banded.
+func chaosMatrix(i int) (*spgemm.Matrix, string) {
+	switch i % 3 {
+	case 0:
+		return spgemm.RMAT(7, 8, 0.57, 0.19, 0.19, int64(100+i)), fmt.Sprintf("rmat(seed=%d)", 100+i)
+	case 1:
+		return spgemm.ER(300, 300, 0.03, int64(200+i)), fmt.Sprintf("er(seed=%d)", 200+i)
+	default:
+		return spgemm.Band(400, 8, int64(300+i)), fmt.Sprintf("band(seed=%d)", 300+i)
+	}
+}
+
+// refCache memoizes the CPU reference product per input matrix.
+var refCache = map[*spgemm.Matrix]*spgemm.Matrix{}
+
+func reference(t *testing.T, a *spgemm.Matrix) *spgemm.Matrix {
+	t.Helper()
+	if c, ok := refCache[a]; ok {
+		return c
+	}
+	c, err := spgemm.MultiplyCPU(a, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCache[a] = c
+	return c
+}
+
+type chaosScenario struct {
+	engine  string
+	cfg     spgemm.FaultConfig
+	gpus    int
+	retries int
+}
+
+// chaosScenarios builds the seed sweep: >= 50 scenarios spanning
+// transient faults, stragglers, OOM pressure and device loss.
+func chaosScenarios() []chaosScenario {
+	var out []chaosScenario
+	// Transient transfer/kernel faults + stragglers on the GPU-only
+	// engines: a generous retry budget must absorb everything.
+	for seed := int64(1); seed <= 14; seed++ {
+		out = append(out, chaosScenario{
+			engine:  "gpu",
+			cfg:     spgemm.FaultConfig{Seed: seed, TransferRate: 0.03, KernelRate: 0.02, StragglerRate: 0.05},
+			retries: 10,
+		})
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		out = append(out, chaosScenario{
+			engine:  "gpu-sync",
+			cfg:     spgemm.FaultConfig{Seed: seed, TransferRate: 0.03, KernelRate: 0.02},
+			retries: 10,
+		})
+	}
+	// Hybrid: higher rates with the default (small) budget, so some
+	// chunks are abandoned and must be absorbed by the CPU worker.
+	for seed := int64(1); seed <= 12; seed++ {
+		out = append(out, chaosScenario{
+			engine: "hybrid",
+			cfg:    spgemm.FaultConfig{Seed: seed, TransferRate: 0.06, KernelRate: 0.04, StragglerRate: 0.05},
+		})
+	}
+	// Hybrid with mid-run device loss: every remaining GPU chunk must
+	// degrade to the CPU worker.
+	for seed := int64(1); seed <= 4; seed++ {
+		out = append(out, chaosScenario{
+			engine: "hybrid",
+			cfg:    spgemm.FaultConfig{Seed: seed, TransferRate: 0.02, LossAfterOps: 60},
+		})
+	}
+	// Multi-GPU: transient faults redistribute chunks between devices
+	// and, past their budget, to the CPU worker.
+	for seed := int64(1); seed <= 10; seed++ {
+		out = append(out, chaosScenario{
+			engine: "multigpu",
+			cfg:    spgemm.FaultConfig{Seed: seed, TransferRate: 0.06, KernelRate: 0.04},
+			gpus:   2,
+		})
+	}
+	// Multi-GPU with device loss: both devices eventually die and the
+	// CPU worker adopts everything left.
+	for seed := int64(1); seed <= 4; seed++ {
+		out = append(out, chaosScenario{
+			engine: "multigpu",
+			cfg:    spgemm.FaultConfig{Seed: seed, TransferRate: 0.02, LossAfterOps: 80},
+			gpus:   2,
+		})
+	}
+	// OOM pressure: a shrunken arena must still fit the planned grid's
+	// working set or fail over, never panic.
+	for seed := int64(1); seed <= 2; seed++ {
+		out = append(out, chaosScenario{
+			engine:  "gpu",
+			cfg:     spgemm.FaultConfig{Seed: seed, TransferRate: 0.02, OOMShrink: 0.3},
+			retries: 10,
+		})
+	}
+	return out
+}
+
+func runScenario(t *testing.T, i int, sc chaosScenario) {
+	t.Helper()
+	a, desc := chaosMatrix(i)
+	cfg := spgemm.V100WithMemory(1 << 20)
+	eng, err := spgemm.ByName(sc.engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &spgemm.RunOptions{
+		Device:       &cfg,
+		Core:         spgemm.OutOfCoreOptions{RowPanels: 4, ColPanels: 2},
+		Faults:       sc.cfg,
+		ChunkRetries: sc.retries,
+		NumGPUs:      sc.gpus,
+		UseCPU:       sc.gpus > 0,
+		Metrics:      spgemm.NewCollector(),
+	}
+	c, report, err := eng.Run(a, a, opts)
+	if err != nil {
+		t.Fatalf("scenario %d [%s on %s, faults %+v]: %v", i, sc.engine, desc, sc.cfg, err)
+	}
+	if ref := reference(t, a); !spgemm.Equal(c, ref, 1e-9) {
+		t.Fatalf("scenario %d [%s on %s, faults %+v]: product differs from CPU reference",
+			i, sc.engine, desc, sc.cfg)
+	}
+	// Reconciliation: every injected transient fault was either
+	// absorbed by a retry or abandoned the chunk to a recovery path.
+	snap := opts.Metrics.Snapshot()
+	injected := snap["faults_injected_transfer"] + snap["faults_injected_kernel"]
+	recovered := snap["recovery_retries"] + snap["recovery_abandoned"]
+	if injected != recovered {
+		t.Fatalf("scenario %d [%s on %s, faults %+v]: %d faults injected but %d retried + %d abandoned",
+			i, sc.engine, desc, sc.cfg, injected, snap["recovery_retries"], snap["recovery_abandoned"])
+	}
+	_ = report
+}
+
+// TestChaosSoak runs the full seeded scenario sweep.
+func TestChaosSoak(t *testing.T) {
+	scenarios := chaosScenarios()
+	if len(scenarios) < 50 {
+		t.Fatalf("only %d chaos scenarios; the soak promises at least 50", len(scenarios))
+	}
+	for i, sc := range scenarios {
+		sc := sc
+		i := i
+		t.Run(fmt.Sprintf("%03d_%s_seed%d", i, sc.engine, sc.cfg.Seed), func(t *testing.T) {
+			runScenario(t, i, sc)
+		})
+	}
+}
+
+// TestChaosDeterminism: the same fault seed must reproduce the run
+// bit-for-bit — identical statistics and identical simulated timeline.
+func TestChaosDeterminism(t *testing.T) {
+	a := spgemm.RMAT(7, 8, 0.57, 0.19, 0.19, 7)
+	cfg := spgemm.V100WithMemory(1 << 20)
+	run := func() (spgemm.Stats, []metrics.Span) {
+		col := spgemm.NewCollector()
+		opts := spgemm.OutOfCoreOptions{
+			RowPanels: 4, ColPanels: 2, Async: true,
+			Faults:  spgemm.FaultConfig{Seed: 11, TransferRate: 0.05, KernelRate: 0.03, StragglerRate: 0.05},
+			Metrics: col,
+		}
+		_, st, err := spgemm.MultiplyOutOfCore(a, a, cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, simSpans(col.Spans())
+	}
+	st1, tl1 := run()
+	st2, tl2 := run()
+	if st1 != st2 {
+		t.Fatalf("stats differ across identical fault seeds:\n%+v\n%+v", st1, st2)
+	}
+	if !reflect.DeepEqual(tl1, tl2) {
+		t.Fatal("simulated timelines differ across identical fault seeds")
+	}
+}
+
+// TestChaosFaultFreeIdentity: a zero FaultConfig must be byte-identical
+// to a run without the fault layer configured — same stats, same
+// timeline, all recovery counters zero, no injection counters.
+func TestChaosFaultFreeIdentity(t *testing.T) {
+	a := spgemm.RMAT(7, 8, 0.57, 0.19, 0.19, 9)
+	cfg := spgemm.V100WithMemory(1 << 20)
+	run := func(fc spgemm.FaultConfig) (spgemm.Stats, []metrics.Span, map[string]int64) {
+		col := spgemm.NewCollector()
+		opts := spgemm.OutOfCoreOptions{RowPanels: 4, ColPanels: 2, Async: true, Faults: fc, Metrics: col}
+		_, st, err := spgemm.MultiplyOutOfCore(a, a, cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, simSpans(col.Spans()), col.Snapshot()
+	}
+	stOff, tlOff, snapOff := run(spgemm.FaultConfig{})
+	// Seeded but all-zero rates: the injector is disabled entirely.
+	stZero, tlZero, _ := run(spgemm.FaultConfig{Seed: 99})
+	if stOff != stZero {
+		t.Fatalf("stats differ between disabled fault configs:\n%+v\n%+v", stOff, stZero)
+	}
+	if !reflect.DeepEqual(tlOff, tlZero) {
+		t.Fatal("timelines differ between disabled fault configs")
+	}
+	for _, k := range []string{"recovery_retries", "recovery_abandoned"} {
+		if snapOff[k] != 0 {
+			t.Errorf("fault-free run has %s = %d", k, snapOff[k])
+		}
+	}
+	for k := range snapOff {
+		if len(k) > 15 && k[:15] == "faults_injected" {
+			t.Errorf("fault-free run published injection counter %s", k)
+		}
+	}
+}
+
+// TestChaosHybridFallback forces fast abandonment (no retries, high
+// fault rates) so the CPU worker must absorb GPU chunks; the product
+// must still match the reference.
+func TestChaosHybridFallback(t *testing.T) {
+	a, _ := chaosMatrix(0)
+	cfg := spgemm.V100WithMemory(1 << 20)
+	eng, err := spgemm.ByName("hybrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &spgemm.RunOptions{
+		Device:       &cfg,
+		Core:         spgemm.OutOfCoreOptions{RowPanels: 4, ColPanels: 2},
+		Faults:       spgemm.FaultConfig{Seed: 3, TransferRate: 0.9, KernelRate: 0.9},
+		ChunkRetries: -1, // no retries: first fault abandons the chunk
+		Metrics:      spgemm.NewCollector(),
+	}
+	c, report, err := eng.Run(a, a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spgemm.Equal(c, reference(t, a), 1e-9) {
+		t.Fatal("fallback product differs from CPU reference")
+	}
+	if fb := report.Counters()["recovery_fallbacks"]; fb == 0 {
+		t.Fatal("expected CPU fallbacks under 90% fault rates with no retries")
+	}
+}
+
+// TestChaosMultiGPUFailover kills the devices mid-run; chunks must be
+// redistributed and the survivors (ultimately the CPU worker) finish
+// the product exactly.
+func TestChaosMultiGPUFailover(t *testing.T) {
+	a, _ := chaosMatrix(0)
+	cfg := spgemm.V100WithMemory(1 << 20)
+	eng, err := spgemm.ByName("multigpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &spgemm.RunOptions{
+		Device:  &cfg,
+		Core:    spgemm.OutOfCoreOptions{RowPanels: 4, ColPanels: 2},
+		Faults:  spgemm.FaultConfig{Seed: 5, LossAfterOps: 30},
+		NumGPUs: 2,
+		UseCPU:  true,
+		Metrics: spgemm.NewCollector(),
+	}
+	c, report, err := eng.Run(a, a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spgemm.Equal(c, reference(t, a), 1e-9) {
+		t.Fatal("failover product differs from CPU reference")
+	}
+	counters := report.Counters()
+	if counters["recovery_devices_lost"] == 0 {
+		t.Fatalf("expected lost devices with LossAfterOps=30; counters %v", counters)
+	}
+	if counters["recovery_failovers"] == 0 {
+		t.Fatalf("expected failovers after device loss; counters %v", counters)
+	}
+}
+
+// TestChaosGPUDeviceLostTypedError: the GPU-only engine has no
+// recovery path for a dead device — the run must end with a typed
+// ErrDeviceLost, not a panic or a silent partial product.
+func TestChaosGPUDeviceLostTypedError(t *testing.T) {
+	a, _ := chaosMatrix(0)
+	cfg := spgemm.V100WithMemory(1 << 20)
+	eng, err := spgemm.ByName("gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = eng.Run(a, a, &spgemm.RunOptions{
+		Device: &cfg,
+		Core:   spgemm.OutOfCoreOptions{RowPanels: 4, ColPanels: 2},
+		Faults: spgemm.FaultConfig{Seed: 1, LossAfterOps: 20},
+	})
+	if !errors.Is(err, spgemm.ErrDeviceLost) {
+		t.Fatalf("err = %v, want ErrDeviceLost", err)
+	}
+}
+
+// TestChaosDeadline: a deadline in the middle of the run surfaces as
+// ErrDeadline on both the simulated-clock and wall-clock engines.
+func TestChaosDeadline(t *testing.T) {
+	a, _ := chaosMatrix(0)
+	cfg := spgemm.V100WithMemory(1 << 20)
+	gpu, err := spgemm.ByName("gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = gpu.Run(a, a, &spgemm.RunOptions{
+		Device:      &cfg,
+		Core:        spgemm.OutOfCoreOptions{RowPanels: 4, ColPanels: 2},
+		DeadlineSec: 1e-9, // passes after the first simulated span
+	})
+	if !errors.Is(err, spgemm.ErrDeadline) {
+		t.Fatalf("gpu engine err = %v, want ErrDeadline", err)
+	}
+}

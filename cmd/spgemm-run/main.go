@@ -7,6 +7,7 @@
 //	spgemm-run -a=A.mtx [-b=B.mtx] [-engine=hybrid] [-o=C.mtx]
 //	           [-devmem=64M] [-rows=4 -cols=4] [-threads=N]
 //	           [-gpus=2] [-q=2] [-trace=run.json] [-verify]
+//	           [-faults=seed=7,rate=0.02] [-deadline=0.5]
 //
 // With -b omitted the tool computes A·A (the convention of the paper's
 // evaluation). The engine names come from the spgemm registry
@@ -28,18 +29,20 @@ import (
 
 func main() {
 	var (
-		aPath   = flag.String("a", "", "left input matrix (.mtx, required)")
-		bPath   = flag.String("b", "", "right input matrix (.mtx; default: same as -a)")
-		outPath = flag.String("o", "", "output path for the product (.mtx; omit to skip writing)")
-		engine  = flag.String("engine", "gpu", "engine: one of "+strings.Join(spgemm.Engines(), ", "))
-		devmem  = flag.String("devmem", "64M", "simulated device memory (e.g. 512K, 64M, 2G)")
-		rows    = flag.Int("rows", 0, "row panels (0 = plan automatically)")
-		cols    = flag.Int("cols", 0, "column panels (0 = plan automatically)")
-		threads = flag.Int("threads", 0, "CPU threads (0 = GOMAXPROCS)")
-		gpus    = flag.Int("gpus", 0, "device count for the multigpu engine (0 = 1)")
-		q       = flag.Int("q", 2, "process-grid side for the summa engine")
-		trace   = flag.String("trace", "", "write the run's Chrome trace-event JSON to this file")
-		verify  = flag.Bool("verify", false, "cross-check the product against the multi-core CPU engine")
+		aPath    = flag.String("a", "", "left input matrix (.mtx, required)")
+		bPath    = flag.String("b", "", "right input matrix (.mtx; default: same as -a)")
+		outPath  = flag.String("o", "", "output path for the product (.mtx; omit to skip writing)")
+		engine   = flag.String("engine", "gpu", "engine: one of "+strings.Join(spgemm.Engines(), ", "))
+		devmem   = flag.String("devmem", "64M", "simulated device memory (e.g. 512K, 64M, 2G)")
+		rows     = flag.Int("rows", 0, "row panels (0 = plan automatically)")
+		cols     = flag.Int("cols", 0, "column panels (0 = plan automatically)")
+		threads  = flag.Int("threads", 0, "CPU threads (0 = GOMAXPROCS)")
+		gpus     = flag.Int("gpus", 0, "device count for the multigpu engine (0 = 1)")
+		q        = flag.Int("q", 2, "process-grid side for the summa engine")
+		trace    = flag.String("trace", "", "write the run's Chrome trace-event JSON to this file")
+		verify   = flag.Bool("verify", false, "cross-check the product against the multi-core CPU engine")
+		faults   = flag.String("faults", "", "fault-injection spec, e.g. seed=7,rate=0.02,straggler=0.05,loseafter=40 (device engines)")
+		deadline = flag.Float64("deadline", 0, "abort the run after this many seconds (simulated for device engines, wall for cpu); 0 = none")
 	)
 	flag.Parse()
 	if *aPath == "" {
@@ -68,12 +71,20 @@ func main() {
 		fail(err)
 	}
 	opts := &spgemm.RunOptions{
-		Threads: *threads,
-		Device:  &cfg,
-		Core:    spgemm.OutOfCoreOptions{RowPanels: *rows, ColPanels: *cols},
-		NumGPUs: *gpus,
-		UseCPU:  *gpus > 0,
-		SUMMA:   spgemm.SUMMAConfig{Q: *q, Pipelined: true},
+		Threads:     *threads,
+		Device:      &cfg,
+		Core:        spgemm.OutOfCoreOptions{RowPanels: *rows, ColPanels: *cols},
+		NumGPUs:     *gpus,
+		UseCPU:      *gpus > 0,
+		SUMMA:       spgemm.SUMMAConfig{Q: *q, Pipelined: true},
+		DeadlineSec: *deadline,
+	}
+	if *faults != "" {
+		fc, err := spgemm.ParseFaultSpec(*faults)
+		if err != nil {
+			fail(err)
+		}
+		opts.Faults = fc
 	}
 	if *trace != "" {
 		opts.Metrics = spgemm.NewCollector()
@@ -85,6 +96,12 @@ func main() {
 	}
 	fmt.Printf("engine=%s nnz(C)=%d flops=%d time=%.3fms GFLOPS=%.3f\n",
 		*engine, report.OutputNnz(), report.FlopCount(), report.Seconds()*1e3, report.Throughput())
+	if counters := report.Counters(); opts.Faults.Enabled() {
+		fmt.Printf("recovery: retries=%d abandoned=%d fallbacks=%d failovers=%d devices_lost=%d\n",
+			counters["recovery_retries"], counters["recovery_abandoned"],
+			counters["recovery_fallbacks"], counters["recovery_failovers"],
+			counters["recovery_devices_lost"])
+	}
 
 	if *verify {
 		ref, err := spgemm.MultiplyCPU(a, b, *threads)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/gpusim"
 	"repro/internal/sim"
 )
@@ -32,8 +34,9 @@ func newInputCache(e *Engine, dynamic bool) *inputCache {
 // ensure makes the panel identified by key resident, transferring it
 // host-to-device on a miss. capacityLeft reports how many arena bytes
 // remain for inputs (ignored in dynamic mode, where the device
-// allocator itself is the limit).
-func (c *inputCache) ensure(p *sim.Proc, key, label string, bytes int64, capacityLeft func() int64, pinned ...string) error {
+// allocator itself is the limit). The transfer runs under chunk id's
+// retry budget; on failure the panel is left non-resident.
+func (c *inputCache) ensure(p *sim.Proc, id int, key, label string, bytes int64, capacityLeft func() int64, pinned ...string) error {
 	if c.entries[key] != nil {
 		return nil
 	}
@@ -45,6 +48,9 @@ func (c *inputCache) ensure(p *sim.Proc, key, label string, bytes int64, capacit
 				ent.alloc = a
 				break
 			}
+			if !errors.Is(err, faults.ErrOOM) {
+				return err // device lost — eviction cannot help
+			}
 			if !c.evictOne(p, pinned...) {
 				return fmt.Errorf("core: input panel %s (%d bytes) does not fit device memory: %w", key, bytes, err)
 			}
@@ -52,12 +58,21 @@ func (c *inputCache) ensure(p *sim.Proc, key, label string, bytes int64, capacit
 	} else {
 		for c.bytes+bytes > capacityLeft() {
 			if !c.evictOne(p, pinned...) {
-				return fmt.Errorf("core: input panel %s (%d bytes) does not fit the arena (%d left); increase device memory or panel counts",
-					key, bytes, capacityLeft())
+				return fmt.Errorf("core: input panel %s (%d bytes) does not fit the arena (%d left); increase device memory or panel counts: %w",
+					key, bytes, capacityLeft(), faults.ErrOOM)
 			}
 		}
 	}
-	c.e.Dev.TransferH2D(p, label, bytes)
+	if err := c.e.devOp(p, id, func() error {
+		return c.e.Dev.TransferH2D(p, label, bytes)
+	}); err != nil {
+		if ent.alloc != nil {
+			if ferr := c.e.Dev.Free(p, ent.alloc); ferr != nil {
+				c.e.fail(ferr)
+			}
+		}
+		return err
+	}
 	c.entries[key] = ent
 	c.order = append(c.order, key)
 	c.bytes += bytes
@@ -77,7 +92,10 @@ func (c *inputCache) evictOne(p *sim.Proc, pinned ...string) bool {
 		delete(c.entries, key)
 		c.bytes -= ent.bytes
 		if ent.alloc != nil {
-			c.e.Dev.Free(p, ent.alloc)
+			if err := c.e.Dev.Free(p, ent.alloc); err != nil {
+				// A failing Free is a lifetime bug; record it terminally.
+				c.e.fail(err)
+			}
 		}
 		return true
 	}

@@ -26,10 +26,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/csr"
+	"repro/internal/faults"
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
 	"repro/internal/partition"
@@ -70,6 +72,21 @@ type Options struct {
 	// chunks, mallocs) into it. Nil disables instrumentation at the
 	// cost of a pointer comparison.
 	Metrics *metrics.Collector
+	// Faults configures deterministic fault injection on the device.
+	// The zero value is fault-free and leaves the run byte-identical to
+	// a build without the injection layer.
+	Faults faults.Config
+	// ChunkRetries bounds the transient-fault retries spent on one
+	// chunk before it is abandoned to the caller's recovery path
+	// (CPU fallback, device failover, or a returned error). 0 means 3;
+	// negative means no retries.
+	ChunkRetries int
+	// RetryBackoffSec is the simulated backoff before the first retry;
+	// it doubles per retry of the same chunk. 0 means 50 microseconds.
+	RetryBackoffSec float64
+	// DeadlineSec aborts the run (faults.ErrDeadline) once the
+	// simulated clock passes it. 0 means no deadline.
+	DeadlineSec float64
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +109,15 @@ func (o Options) withDefaults() Options {
 		// The asynchronous pipeline requires pre-allocation; keep the
 		// combination well-defined by ignoring DynamicAlloc.
 		o.DynamicAlloc = false
+	}
+	switch {
+	case o.ChunkRetries == 0:
+		o.ChunkRetries = 3
+	case o.ChunkRetries < 0:
+		o.ChunkRetries = 0
+	}
+	if o.RetryBackoffSec <= 0 {
+		o.RetryBackoffSec = 50e-6
 	}
 	return o
 }
@@ -122,6 +148,13 @@ type Stats struct {
 	// BytesH2D and BytesD2H are the payload bytes moved over each DMA
 	// engine; their sum is the "bytes moved" a trace must reconcile.
 	BytesH2D, BytesD2H int64
+	// Retries counts transient device faults absorbed by retrying;
+	// Abandoned counts transient faults NOT retried because the chunk's
+	// budget was exhausted (each abandons the chunk to the caller's
+	// recovery path). Retries+Abandoned equals the injector's
+	// transfer+kernel fault count, the reconciliation invariant of the
+	// chaos tests. Both are zero fault-free.
+	Retries, Abandoned int64
 }
 
 // Seconds returns the simulated makespan; part of metrics.Report.
@@ -139,13 +172,15 @@ func (s Stats) OutputNnz() int64 { return s.NnzC }
 // Counters returns the flat key/value snapshot of the run.
 func (s Stats) Counters() map[string]int64 {
 	return map[string]int64{
-		metrics.CounterFlops:    s.Flops,
-		metrics.CounterBytesH2D: s.BytesH2D,
-		metrics.CounterBytesD2H: s.BytesD2H,
-		metrics.CounterChunks:   int64(s.Chunks),
-		metrics.CounterMallocs:  int64(s.Mallocs),
-		metrics.CounterMemPeak:  s.MemPeakBytes,
-		metrics.CounterNnzC:     s.NnzC,
+		metrics.CounterFlops:     s.Flops,
+		metrics.CounterBytesH2D:  s.BytesH2D,
+		metrics.CounterBytesD2H:  s.BytesD2H,
+		metrics.CounterChunks:    int64(s.Chunks),
+		metrics.CounterMallocs:   int64(s.Mallocs),
+		metrics.CounterMemPeak:   s.MemPeakBytes,
+		metrics.CounterNnzC:      s.NnzC,
+		metrics.CounterRetries:   s.Retries,
+		metrics.CounterAbandoned: s.Abandoned,
 	}
 }
 
@@ -166,6 +201,19 @@ type Engine struct {
 
 	// err records the first failure inside simulation processes.
 	err error
+
+	// failed maps chunk ids that did not complete on the device to the
+	// error that stopped them; callers recover them (hybrid falls back
+	// to the CPU, multigpu fails over to a surviving device) or the run
+	// surfaces them as a typed error.
+	failed map[int]error
+	// retries tracks the per-chunk retry budget already spent;
+	// nRetries and nAbandoned are the run totals behind Stats.
+	retries              map[int]int
+	nRetries, nAbandoned int64
+	// arenaAllocated notes that the one-time device arena Malloc has
+	// happened; failover re-entries of ProcessChunks reuse it.
+	arenaAllocated bool
 
 	rows, cols int // dimensions of C
 }
@@ -190,6 +238,11 @@ func NewEngine(dev *gpusim.Device, a, b *csr.Matrix, opts Options) (*Engine, err
 		return nil, err
 	}
 	stopPartition()
+	if opts.Faults.Enabled() && dev.Faults() == nil {
+		// Attach the injector unless the caller (multigpu) already
+		// installed a per-device derived one.
+		dev.SetFaults(faults.New(opts.Faults))
+	}
 	return &Engine{
 		Dev:       dev,
 		Opts:      opts,
@@ -197,6 +250,8 @@ func NewEngine(dev *gpusim.Device, a, b *csr.Matrix, opts Options) (*Engine, err
 		ColPanels: cps,
 		cm:        speck.ModelFromDevice(dev.Cfg),
 		Results:   map[int]*speck.Result{},
+		failed:    map[int]error{},
+		retries:   map[int]int{},
 		rows:      a.Rows,
 		cols:      b.Cols,
 	}, nil
@@ -246,6 +301,81 @@ func (e *Engine) fail(err error) {
 	}
 }
 
+// failChunk marks one chunk as not completed on the device. Its result
+// is dropped so the schedule stays honest: a failed chunk contributes
+// no output until a recovery path (CPU fallback, another device)
+// recomputes it.
+func (e *Engine) failChunk(id int, err error) {
+	delete(e.Results, id)
+	e.failed[id] = err
+}
+
+// Failed returns the chunks that did not complete, keyed by the error
+// that stopped them. The map is live; callers that recover a chunk
+// must ClearFailed it.
+func (e *Engine) Failed() map[int]error { return e.failed }
+
+// ClearFailed removes a chunk from the failed set after a recovery
+// path has produced its result elsewhere.
+func (e *Engine) ClearFailed(id int) { delete(e.failed, id) }
+
+// Retries reports the transient faults absorbed by retrying so far.
+func (e *Engine) Retries() int64 { return e.nRetries }
+
+// Abandoned reports the transient faults that exhausted a chunk's
+// retry budget so far.
+func (e *Engine) Abandoned() int64 { return e.nAbandoned }
+
+// devOp runs one device operation under the chunk's retry budget:
+// transient faults (ErrTransfer, ErrKernel) retry after an exponential
+// simulated-clock backoff recorded on the "recovery" lane; exhausting
+// the budget wraps faults.ErrChunkAbandoned; device loss and other
+// errors pass through untouched.
+func (e *Engine) devOp(p *sim.Proc, id int, op func() error) error {
+	for {
+		err := op()
+		if err == nil || !faults.Transient(err) {
+			return err
+		}
+		if e.retries[id] >= e.Opts.ChunkRetries {
+			e.nAbandoned++
+			return fmt.Errorf("core: chunk %d: %w: %w", id, faults.ErrChunkAbandoned, err)
+		}
+		e.retries[id]++
+		e.nRetries++
+		backoff := e.Opts.RetryBackoffSec * float64(int64(1)<<min(e.retries[id]-1, 10))
+		p.Span("recovery", fmt.Sprintf("backoff c%d", id), sim.Seconds(backoff))
+	}
+}
+
+// pastDeadline reports whether the run's deadline has passed on the
+// simulated clock, recording the terminal error once it has.
+func (e *Engine) pastDeadline() bool {
+	if e.Opts.DeadlineSec <= 0 {
+		return false
+	}
+	if now := sim.SecondsAt(e.Dev.Env.Now()); now > e.Opts.DeadlineSec {
+		e.fail(fmt.Errorf("core: %w: simulated clock at %.6fs past %.6fs", faults.ErrDeadline, now, e.Opts.DeadlineSec))
+		return true
+	}
+	return false
+}
+
+// FailedError folds the failed-chunk set into one typed error for
+// callers whose recovery paths are exhausted (or absent).
+func (e *Engine) FailedError() error {
+	if len(e.failed) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(e.failed))
+	for id := range e.failed {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return fmt.Errorf("core: %d of %d chunks failed (first: chunk %d): %w",
+		len(ids), e.NumChunks(), ids[0], e.failed[ids[0]])
+}
+
 // Run multiplies A·B out-of-core on a fresh simulated device and
 // returns the exact product plus simulated-time statistics. It is the
 // package's main entry point for GPU-only execution.
@@ -273,6 +403,11 @@ func RunTraced(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Ma
 	if eng.err != nil {
 		return nil, Stats{}, nil, eng.err
 	}
+	if err := eng.FailedError(); err != nil {
+		// GPU-only execution has no fallback device; abandoned or
+		// orphaned chunks surface as a typed error.
+		return nil, Stats{}, nil, err
+	}
 	c, err := eng.Assemble()
 	if err != nil {
 		return nil, Stats{}, nil, err
@@ -296,6 +431,9 @@ func (e *Engine) PublishMetrics(env *sim.Env, st Stats) {
 	for k, v := range st.Counters() {
 		c.Add(k, v)
 	}
+	for kind, n := range e.Dev.Faults().Counts() {
+		c.Add("faults_injected_"+kind, n)
+	}
 }
 
 // stats collects run statistics from the environment.
@@ -316,6 +454,8 @@ func (e *Engine) stats(env *sim.Env, c *csr.Matrix) Stats {
 		Chunks:       e.NumChunks(),
 		BytesH2D:     e.Dev.BytesH2D(),
 		BytesD2H:     e.Dev.BytesD2H(),
+		Retries:      e.nRetries,
+		Abandoned:    e.nAbandoned,
 	}
 	if c != nil {
 		st.NnzC = c.Nnz()
@@ -333,17 +473,30 @@ func (e *Engine) StatsFor(env *sim.Env, c *csr.Matrix) Stats { return e.stats(en
 
 // ProcessChunks executes the given chunks on the device in order,
 // using the synchronous or asynchronous pipeline per Options. It must
-// be called from a simulation process; errors are recorded on the
+// be called from a simulation process. It returns the ids from this
+// call that did not complete (also recorded in Failed, with their
+// errors) so callers can route them to a recovery path; terminal
+// errors — a deadline, a host-side failure — are recorded on the
 // engine (see Err).
-func (e *Engine) ProcessChunks(p *sim.Proc, ids []int) {
+func (e *Engine) ProcessChunks(p *sim.Proc, ids []int) []int {
 	if len(ids) == 0 {
-		return
+		return nil
 	}
 	if e.Opts.Async {
-		e.processAsync(p, ids)
-		return
+		return e.processAsync(p, ids)
 	}
-	e.processSync(p, ids)
+	return e.processSync(p, ids)
+}
+
+// DeviceLost reports whether the engine's device has permanently
+// failed.
+func (e *Engine) DeviceLost() bool { return e.Dev.Faults().Lost() }
+
+// IsRecoverable reports whether a chunk failure can be recovered by
+// recomputing the chunk elsewhere (as opposed to a terminal condition
+// like a missed deadline).
+func IsRecoverable(err error) bool {
+	return err != nil && !errors.Is(err, faults.ErrDeadline)
 }
 
 // inputBytes reports the device footprint of a chunk's input panels.

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/gpusim"
 	"repro/internal/partition"
 	"repro/internal/sim"
@@ -20,25 +22,46 @@ func panelKeys(rp partition.RowPanel, cp partition.ColPanel) (aKey, bKey string)
 // Opts.DynamicAlloc it also performs spECK's per-phase device
 // allocations; otherwise a single arena allocation is made up front.
 // Input panels stay resident between chunks while memory allows.
-func (e *Engine) processSync(p *sim.Proc, ids []int) {
+//
+// Failure semantics mirror the asynchronous pipeline: a chunk whose
+// retries are exhausted or whose allocations misfit is recorded as
+// failed and the loop moves on; a lost device fails the rest of the
+// schedule.
+func (e *Engine) processSync(p *sim.Proc, ids []int) []int {
 	dev := e.Dev
 	cache := newInputCache(e, e.Opts.DynamicAlloc)
+	var failedIDs []int
+	fail := func(id int, err error) {
+		if _, seen := e.failed[id]; seen {
+			return
+		}
+		e.failChunk(id, err)
+		failedIDs = append(failedIDs, id)
+	}
 
 	var arena, arenaUsed int64
 	if !e.Opts.DynamicAlloc {
-		arena = dev.Cfg.MemoryBytes
-		if _, err := dev.Malloc(p, "arena", arena); err != nil {
-			e.fail(err)
-			return
+		arena = dev.UsableBytes()
+		if !e.arenaAllocated {
+			if _, err := dev.Malloc(p, "arena", arena); err != nil {
+				for _, id := range ids {
+					fail(id, err)
+				}
+				return failedIDs
+			}
+			e.arenaAllocated = true
 		}
 	}
 
-	for _, id := range ids {
+	for idx, id := range ids {
+		if e.pastDeadline() {
+			break
+		}
 		rp, cp := e.chunkPanels(id)
 		res, err := speck.Compute(rp.M, cp.M, e.cm)
 		if err != nil {
-			e.fail(err)
-			return
+			e.fail(err) // host-side arithmetic failure is terminal
+			break
 		}
 		e.Results[id] = res
 		if res.Flops == 0 {
@@ -46,122 +69,186 @@ func (e *Engine) processSync(p *sim.Proc, ids []int) {
 			// analysis (Algorithm 4's GetFlops); no device work needed.
 			continue
 		}
+		// abort routes a chunk failure; returns true on device loss,
+		// which fails the rest of the schedule and stops the loop.
+		abort := func(err error) bool {
+			fail(id, err)
+			if errors.Is(err, faults.ErrDeviceLost) {
+				for _, rest := range ids[idx+1:] {
+					fail(rest, fmt.Errorf("core: chunk %d unprocessed: %w", rest, faults.ErrDeviceLost))
+				}
+				return true
+			}
+			return false
+		}
+
 		aBytes, bBytes := inputBytes(rp, cp)
 		aKey, bKey := panelKeys(rp, cp)
-
 		capacityLeft := func() int64 { return arena - arenaUsed }
-		if err := cache.ensure(p, aKey, lbl("A panel", id), aBytes, capacityLeft, aKey, bKey); err != nil {
-			e.fail(err)
-			return
+		if err := cache.ensure(p, id, aKey, lbl("A panel", id), aBytes, capacityLeft, aKey, bKey); err != nil {
+			if abort(err) {
+				break
+			}
+			continue
 		}
-		if err := cache.ensure(p, bKey, lbl("B panel", id), bBytes, capacityLeft, aKey, bKey); err != nil {
-			e.fail(err)
-			return
+		if err := cache.ensure(p, id, bKey, lbl("B panel", id), bBytes, capacityLeft, aKey, bKey); err != nil {
+			if abort(err) {
+				break
+			}
+			continue
 		}
 
+		var chunkErr error
 		if e.Opts.DynamicAlloc {
-			e.syncChunkDynamic(p, id, res)
+			chunkErr = e.syncChunkDynamic(p, id, res)
 		} else {
 			arenaUsed = 0
 			need := res.WorkspaceBytes + res.OutputBytes
+			misfit := false
 			for arenaUsed+need > arena-cache.bytes {
 				if !cache.evictOne(p, aKey, bKey) {
-					e.fail(fmt.Errorf("core: chunk %d needs %d bytes beyond the arena; increase RowPanels/ColPanels", id, need))
-					return
+					chunkErr = fmt.Errorf("core: chunk %d needs %d bytes beyond the arena; increase RowPanels/ColPanels: %w",
+						id, need, faults.ErrOOM)
+					misfit = true
+					break
 				}
 			}
-			arenaUsed += need
-			e.syncChunkPrealloc(p, id, res)
+			if !misfit {
+				arenaUsed += need
+				chunkErr = e.syncChunkPrealloc(p, id, res)
+			}
+		}
+		if chunkErr != nil {
+			if abort(chunkErr) {
+				break
+			}
+			continue
 		}
 		if e.err != nil {
-			return
+			return failedIDs
 		}
 	}
+	return failedIDs
 }
 
 // syncChunkPrealloc runs one chunk's phases serially without device
-// allocations; the input panels are already resident.
-func (e *Engine) syncChunkPrealloc(p *sim.Proc, id int, res *speck.Result) {
+// allocations; the input panels are already resident. Each device
+// operation runs under the chunk's retry budget.
+func (e *Engine) syncChunkPrealloc(p *sim.Proc, id int, res *speck.Result) error {
 	dev := e.Dev
-	dev.Kernel(p, lbl("analysis", id), res.AnalysisSec)
-	dev.TransferD2H(p, lbl("row info", id), res.RowInfoBytes)
-	e.launchGroupKernels(p, id, res, "symbolic")
-	dev.TransferD2H(p, lbl("nnz info", id), res.NnzInfoBytes)
-	e.launchGroupKernels(p, id, res, "numeric")
-	dev.TransferD2H(p, lbl("output", id), res.OutputBytes)
+	if err := e.devOp(p, id, func() error {
+		return dev.Kernel(p, lbl("analysis", id), res.AnalysisSec)
+	}); err != nil {
+		return err
+	}
+	if err := e.devOp(p, id, func() error {
+		return dev.TransferD2H(p, lbl("row info", id), res.RowInfoBytes)
+	}); err != nil {
+		return err
+	}
+	if err := e.launchGroupKernels(p, id, res, "symbolic"); err != nil {
+		return err
+	}
+	if err := e.devOp(p, id, func() error {
+		return dev.TransferD2H(p, lbl("nnz info", id), res.NnzInfoBytes)
+	}); err != nil {
+		return err
+	}
+	if err := e.launchGroupKernels(p, id, res, "numeric"); err != nil {
+		return err
+	}
+	return e.devOp(p, id, func() error {
+		return dev.TransferD2H(p, lbl("output", id), res.OutputBytes)
+	})
 }
 
 // syncChunkDynamic runs one chunk with spECK's dynamic allocations:
 // row info, group info and the output arrays are each a separate
 // device Malloc, freed at chunk end. Every Malloc stalls the device,
 // which is harmless here (nothing overlaps anyway) but models why this
-// variant cannot be made asynchronous.
-func (e *Engine) syncChunkDynamic(p *sim.Proc, id int, res *speck.Result) {
+// variant cannot be made asynchronous. On failure the allocations made
+// so far are still freed, so an abandoned chunk leaks no device
+// memory.
+func (e *Engine) syncChunkDynamic(p *sim.Proc, id int, res *speck.Result) (err error) {
 	dev := e.Dev
-	mustAlloc := func(label string, bytes int64) *allocHandle {
-		if e.err != nil {
-			return &allocHandle{}
+	var held []*gpusim.Alloc
+	defer func() {
+		for _, a := range held {
+			if ferr := dev.Free(p, a); ferr != nil {
+				// A failing Free is a lifetime bug, not a device fault;
+				// surface it as terminal.
+				e.fail(ferr)
+			}
 		}
-		h, err := dev.Malloc(p, lbl(label, id), bytes)
-		if err != nil {
-			e.fail(err)
-			return &allocHandle{}
+	}()
+	alloc := func(label string, bytes int64) error {
+		a, aerr := dev.Malloc(p, lbl(label, id), bytes)
+		if aerr != nil {
+			return aerr
 		}
-		return &allocHandle{a: h}
+		held = append(held, a)
+		return nil
 	}
 
-	rowInfo := mustAlloc("row info", res.RowInfoBytes)
-	if e.err != nil {
-		return
+	if err := alloc("row info", res.RowInfoBytes); err != nil {
+		return err
 	}
-	dev.Kernel(p, lbl("analysis", id), res.AnalysisSec)
-	dev.TransferD2H(p, lbl("row info", id), res.RowInfoBytes)
-
-	groupInfo := mustAlloc("group info", int64(len(res.Groups))*64+res.WorkspaceBytes)
-	if e.err != nil {
-		return
+	if err := e.devOp(p, id, func() error {
+		return dev.Kernel(p, lbl("analysis", id), res.AnalysisSec)
+	}); err != nil {
+		return err
 	}
-	e.launchGroupKernels(p, id, res, "symbolic")
-	dev.TransferD2H(p, lbl("nnz info", id), res.NnzInfoBytes)
-
-	out := mustAlloc("output", res.OutputBytes)
-	if e.err != nil {
-		return
+	if err := e.devOp(p, id, func() error {
+		return dev.TransferD2H(p, lbl("row info", id), res.RowInfoBytes)
+	}); err != nil {
+		return err
 	}
-	e.launchGroupKernels(p, id, res, "numeric")
-	dev.TransferD2H(p, lbl("output", id), res.OutputBytes)
 
-	for _, h := range []*allocHandle{rowInfo, groupInfo, out} {
-		h.free(p, e)
+	if err := alloc("group info", int64(len(res.Groups))*64+res.WorkspaceBytes); err != nil {
+		return err
 	}
-}
-
-// allocHandle wraps a device allocation so failed runs can skip frees.
-type allocHandle struct {
-	a *gpusim.Alloc
-}
-
-func (h *allocHandle) free(p *sim.Proc, e *Engine) {
-	if h.a != nil {
-		e.Dev.Free(p, h.a)
+	if err := e.launchGroupKernels(p, id, res, "symbolic"); err != nil {
+		return err
 	}
+	if err := e.devOp(p, id, func() error {
+		return dev.TransferD2H(p, lbl("nnz info", id), res.NnzInfoBytes)
+	}); err != nil {
+		return err
+	}
+
+	if err := alloc("output", res.OutputBytes); err != nil {
+		return err
+	}
+	if err := e.launchGroupKernels(p, id, res, "numeric"); err != nil {
+		return err
+	}
+	return e.devOp(p, id, func() error {
+		return dev.TransferD2H(p, lbl("output", id), res.OutputBytes)
+	})
 }
 
 // launchGroupKernels launches one kernel per row group, splitting the
 // phase duration across groups in proportion to their flops (spECK
 // launches a kernel per group; Figure 3's symbolic/numeric boxes).
-func (e *Engine) launchGroupKernels(p *sim.Proc, id int, res *speck.Result, phase string) {
+func (e *Engine) launchGroupKernels(p *sim.Proc, id int, res *speck.Result, phase string) error {
 	total := res.NumericSec
 	if phase == "symbolic" {
 		total = res.SymbolicSec
 	}
 	if res.Flops == 0 || total == 0 {
-		return
+		return nil
 	}
 	for gi, g := range res.Groups {
 		frac := float64(g.Flops) / float64(res.Flops)
-		e.Dev.Kernel(p, fmt.Sprintf("%s c%d g%d(%s)", phase, id, gi, g.Kind), total*frac)
+		label := fmt.Sprintf("%s c%d g%d(%s)", phase, id, gi, g.Kind)
+		dur := total * frac
+		if err := e.devOp(p, id, func() error {
+			return e.Dev.Kernel(p, label, dur)
+		}); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 func lbl(what string, id int) string {

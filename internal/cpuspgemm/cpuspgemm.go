@@ -18,6 +18,7 @@
 package cpuspgemm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -26,6 +27,34 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/parallel"
 )
+
+// ErrCanceled is returned when Options.Cancel stops a multiplication
+// before it completes. Callers with deadlines (the spgemm facade's
+// wall-clock deadline for CPU engines) wrap it with their own context.
+var ErrCanceled = errors.New("cpuspgemm: canceled")
+
+// firstErr collects the first failure reported by any worker. The
+// parallel phases run library code on caller data, so data-dependent
+// failures are returned, never panicked; panics remain only for
+// programmer errors (e.g. accumulator misuse inside internal/accum).
+type firstErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *firstErr) set(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *firstErr) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
 
 // Method selects the accumulation strategy.
 type Method int
@@ -65,7 +94,14 @@ type Options struct {
 	// row and accumulator-pool counters. Nil (the default) keeps the
 	// hot path untouched beyond a pointer comparison.
 	Metrics *metrics.Collector
+	// Cancel, when non-nil, is polled between row chunks; once it
+	// returns true the multiplication stops and returns ErrCanceled.
+	// It must be safe to call from multiple goroutines.
+	Cancel func() bool
 }
+
+// canceled polls the cancellation hook.
+func (o Options) canceled() bool { return o.Cancel != nil && o.Cancel() }
 
 func (o Options) threads() int {
 	return parallel.Workers(o.Threads)
@@ -127,10 +163,18 @@ func Multiply(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
 
 	c := &csr.Matrix{Rows: a.Rows, Cols: b.Cols, RowOffsets: make([]int64, a.Rows+1)}
 	rowNnz := make([]int64, a.Rows)
+	var werr firstErr
 
 	// Symbolic phase: count distinct columns per output row.
 	stopSymbolic := opts.Metrics.StartWall("cpu", "symbolic")
 	parallel.ForChunks(nt, bounds, func(lo, hi int) {
+		if werr.get() != nil {
+			return
+		}
+		if opts.canceled() {
+			werr.set(ErrCanceled)
+			return
+		}
 		acc := getAccumulator(opts.Method, b.Cols, chunkBound(rowFlops, lo, hi))
 		defer accum.Put(acc)
 		for i := lo; i < hi; i++ {
@@ -145,6 +189,9 @@ func Multiply(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
 		}
 	})
 	stopSymbolic()
+	if err := werr.get(); err != nil {
+		return nil, err
+	}
 
 	// Prefix sum gives the final row offsets; allocation is now exact.
 	parallel.PrefixSum(nt, c.RowOffsets, rowNnz)
@@ -156,6 +203,13 @@ func Multiply(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
 	// arrays at each row's offset.
 	stopNumeric := opts.Metrics.StartWall("cpu", "numeric")
 	parallel.ForChunks(nt, bounds, func(lo, hi int) {
+		if werr.get() != nil {
+			return
+		}
+		if opts.canceled() {
+			werr.set(ErrCanceled)
+			return
+		}
 		acc := getAccumulator(opts.Method, b.Cols, chunkBound(rowFlops, lo, hi))
 		defer accum.Put(acc)
 		for i := lo; i < hi; i++ {
@@ -167,7 +221,11 @@ func Multiply(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
 				}
 			}
 			if int64(acc.Len()) != rowNnz[i] {
-				panic(fmt.Sprintf("cpuspgemm: row %d numeric nnz %d != symbolic %d", i, acc.Len(), rowNnz[i]))
+				// Non-finite or NaN inputs can legitimately collapse
+				// accumulator slots between phases, so a mismatch is a
+				// data-dependent failure, not an invariant worth dying on.
+				werr.set(fmt.Errorf("cpuspgemm: row %d numeric nnz %d != symbolic %d", i, acc.Len(), rowNnz[i]))
+				return
 			}
 			// Flushing into full-capacity sub-slices writes the row
 			// in place at its pre-computed offset.
@@ -176,6 +234,9 @@ func Multiply(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
 		}
 	})
 	stopNumeric()
+	if err := werr.get(); err != nil {
+		return nil, err
+	}
 	if m := opts.Metrics; m.Enabled() {
 		gets, news := accum.PoolCounters()
 		m.Add(metrics.CounterPoolGets, gets-poolGets0)
@@ -207,8 +268,13 @@ func MultiplyStatic(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
 
 	c := &csr.Matrix{Rows: a.Rows, Cols: b.Cols, RowOffsets: make([]int64, a.Rows+1)}
 	rowNnz := make([]int64, a.Rows)
+	var werr firstErr
 
 	parallelRanges(bounds, func(lo, hi int) {
+		if opts.canceled() {
+			werr.set(ErrCanceled)
+			return
+		}
 		acc := newAccumulator(opts.Method, b.Cols, maxUpperBound(a, b, lo, hi))
 		for i := lo; i < hi; i++ {
 			ac, _ := a.Row(i)
@@ -221,6 +287,9 @@ func MultiplyStatic(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
 			rowNnz[i] = int64(acc.FlushSymbolic())
 		}
 	})
+	if err := werr.get(); err != nil {
+		return nil, err
+	}
 
 	for i := 0; i < a.Rows; i++ {
 		c.RowOffsets[i+1] = c.RowOffsets[i] + rowNnz[i]
@@ -230,6 +299,10 @@ func MultiplyStatic(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
 	c.Data = make([]float64, nnz)
 
 	parallelRanges(bounds, func(lo, hi int) {
+		if opts.canceled() {
+			werr.set(ErrCanceled)
+			return
+		}
 		acc := newAccumulator(opts.Method, b.Cols, maxUpperBound(a, b, lo, hi))
 		for i := lo; i < hi; i++ {
 			ac, av := a.Row(i)
@@ -240,12 +313,16 @@ func MultiplyStatic(a, b *csr.Matrix, opts Options) (*csr.Matrix, error) {
 				}
 			}
 			if int64(acc.Len()) != rowNnz[i] {
-				panic(fmt.Sprintf("cpuspgemm: row %d numeric nnz %d != symbolic %d", i, acc.Len(), rowNnz[i]))
+				werr.set(fmt.Errorf("cpuspgemm: row %d numeric nnz %d != symbolic %d", i, acc.Len(), rowNnz[i]))
+				return
 			}
 			off, end := c.RowOffsets[i], c.RowOffsets[i]+rowNnz[i]
 			acc.Flush(c.ColIDs[off:off:end], c.Data[off:off:end])
 		}
 	})
+	if err := werr.get(); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 

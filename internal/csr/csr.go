@@ -352,10 +352,12 @@ func (m *Matrix) transposeParallel(workers int) *Matrix {
 // ExtractRows returns the row panel consisting of rows [lo, hi) as an
 // independent matrix with the same number of columns. This is the
 // partition_rows primitive of Algorithm 3: under CSR it is a contiguous
-// copy of the three arrays.
-func (m *Matrix) ExtractRows(lo, hi int) *Matrix {
+// copy of the three arrays. An out-of-range interval is a caller-data
+// failure (panel boundaries come from user-chosen panel counts), so it
+// is returned as an error rather than panicking.
+func (m *Matrix) ExtractRows(lo, hi int) (*Matrix, error) {
 	if lo < 0 || hi > m.Rows || lo > hi {
-		panic(fmt.Sprintf("csr: ExtractRows[%d,%d) outside %d rows", lo, hi, m.Rows))
+		return nil, fmt.Errorf("csr: ExtractRows[%d,%d) outside %d rows", lo, hi, m.Rows)
 	}
 	base := m.RowOffsets[lo]
 	p := &Matrix{
@@ -368,7 +370,7 @@ func (m *Matrix) ExtractRows(lo, hi int) *Matrix {
 	for r := lo; r <= hi; r++ {
 		p.RowOffsets[r-lo] = m.RowOffsets[r] - base
 	}
-	return p
+	return p, nil
 }
 
 // Equal reports whether the two matrices have identical structure and

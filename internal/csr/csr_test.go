@@ -168,7 +168,10 @@ func TestTransposeEntries(t *testing.T) {
 func TestExtractRows(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	m := randomMatrix(rng, 20, 10, 0.3)
-	p := m.ExtractRows(5, 12)
+	p, err := m.ExtractRows(5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := p.Validate(); err != nil {
 		t.Fatalf("panel invalid: %v", err)
 	}
@@ -192,24 +195,29 @@ func TestExtractRows(t *testing.T) {
 func TestExtractRowsWholeAndEmpty(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	m := randomMatrix(rng, 8, 8, 0.4)
-	whole := m.ExtractRows(0, 8)
+	whole, err := m.ExtractRows(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !Equal(m, whole, 0) {
 		t.Fatal("ExtractRows(0, Rows) != original")
 	}
-	empty := m.ExtractRows(4, 4)
+	empty, err := m.ExtractRows(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if empty.Rows != 0 || empty.Nnz() != 0 {
 		t.Fatal("empty panel not empty")
 	}
 }
 
-func TestExtractRowsPanics(t *testing.T) {
+func TestExtractRowsOutOfRange(t *testing.T) {
 	m := New(4, 4)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for out-of-range panel")
+	for _, r := range [][2]int{{2, 9}, {-1, 3}, {3, 2}} {
+		if _, err := m.ExtractRows(r[0], r[1]); err == nil {
+			t.Fatalf("ExtractRows(%d, %d): expected error", r[0], r[1])
 		}
-	}()
-	m.ExtractRows(2, 9)
+	}
 }
 
 func TestAdd(t *testing.T) {

@@ -1,0 +1,205 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilInjectorIsDisabled(t *testing.T) {
+	var inj *Injector
+	if inj.Lost() {
+		t.Fatal("nil injector reports lost")
+	}
+	if s, err := inj.Transfer(); s != 1 || err != nil {
+		t.Fatalf("nil Transfer = (%g, %v)", s, err)
+	}
+	if s, err := inj.Kernel(); s != 1 || err != nil {
+		t.Fatalf("nil Kernel = (%g, %v)", s, err)
+	}
+	if err := inj.Alloc(); err != nil {
+		t.Fatalf("nil Alloc = %v", err)
+	}
+	if got := inj.Shrink(1 << 30); got != 0 {
+		t.Fatalf("nil Shrink = %d", got)
+	}
+	if inj.Counts() != nil || inj.Injected() != 0 {
+		t.Fatal("nil injector reports counts")
+	}
+}
+
+func TestNewDisabledConfigReturnsNil(t *testing.T) {
+	if New(Config{Seed: 42}) != nil {
+		t.Fatal("rate-free config should produce a nil injector")
+	}
+}
+
+func TestDeterministicSequence(t *testing.T) {
+	cfg := Config{Seed: 7, TransferRate: 0.3, KernelRate: 0.2, StragglerRate: 0.1}
+	run := func() []string {
+		inj := New(cfg)
+		var seq []string
+		for op := 0; op < 200; op++ {
+			var s float64
+			var err error
+			if op%2 == 0 {
+				s, err = inj.Transfer()
+			} else {
+				s, err = inj.Kernel()
+			}
+			switch {
+			case err != nil:
+				seq = append(seq, err.Error())
+			case s != 1:
+				seq = append(seq, "slow")
+			default:
+				seq = append(seq, "ok")
+			}
+		}
+		return seq
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: %q vs %q — fault sequence not deterministic", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultRatesRoughlyHonored(t *testing.T) {
+	inj := New(Config{Seed: 1, TransferRate: 0.25})
+	faults := 0
+	const n = 4000
+	for op := 0; op < n; op++ {
+		if _, err := inj.Transfer(); err != nil {
+			if !errors.Is(err, ErrTransfer) {
+				t.Fatalf("unexpected error %v", err)
+			}
+			faults++
+		}
+	}
+	if faults < n/8 || faults > n/2 {
+		t.Fatalf("%d faults out of %d at rate 0.25", faults, n)
+	}
+	if inj.Injected() != int64(faults) {
+		t.Fatalf("Injected() = %d, observed %d", inj.Injected(), faults)
+	}
+}
+
+func TestLossAfterOps(t *testing.T) {
+	inj := New(Config{Seed: 3, LossAfterOps: 5})
+	for op := 0; op < 4; op++ {
+		if _, err := inj.Transfer(); err != nil {
+			t.Fatalf("op %d failed early: %v", op, err)
+		}
+	}
+	if _, err := inj.Transfer(); !errors.Is(err, ErrDeviceLost) {
+		t.Fatalf("op 5 should lose the device, got %v", err)
+	}
+	if !inj.Lost() {
+		t.Fatal("Lost() false after loss")
+	}
+	if _, err := inj.Kernel(); !errors.Is(err, ErrDeviceLost) {
+		t.Fatal("lost device still runs kernels")
+	}
+	if err := inj.Alloc(); !errors.Is(err, ErrDeviceLost) {
+		t.Fatal("lost device still allocates")
+	}
+	if inj.Counts()["lost"] != 1 {
+		t.Fatal("Counts missing lost=1")
+	}
+}
+
+func TestMaxFaultsCapsInjection(t *testing.T) {
+	inj := New(Config{Seed: 5, TransferRate: 0.9, MaxFaults: 3})
+	for op := 0; op < 500; op++ {
+		inj.Transfer()
+	}
+	if inj.Injected() != 3 {
+		t.Fatalf("injected %d faults with MaxFaults=3", inj.Injected())
+	}
+}
+
+func TestStragglerSlowdown(t *testing.T) {
+	inj := New(Config{Seed: 11, StragglerRate: 0.5, StragglerFactor: 6})
+	slow := 0
+	for op := 0; op < 400; op++ {
+		s, err := inj.Kernel()
+		if err != nil {
+			t.Fatalf("straggler-only config errored: %v", err)
+		}
+		if s != 1 {
+			if s != 6 {
+				t.Fatalf("slowdown %g, want 6", s)
+			}
+			slow++
+		}
+	}
+	if slow == 0 {
+		t.Fatal("no stragglers at rate 0.5")
+	}
+	if int64(slow) != inj.Counts()["straggler"] {
+		t.Fatalf("straggler count %d != observed %d", inj.Counts()["straggler"], slow)
+	}
+}
+
+func TestShrink(t *testing.T) {
+	inj := New(Config{Seed: 1, OOMShrink: 0.25})
+	if got := inj.Shrink(1000); got != 250 {
+		t.Fatalf("Shrink(1000) = %d, want 250", got)
+	}
+}
+
+func TestDeriveChangesSeedOnly(t *testing.T) {
+	base := Config{Seed: 9, TransferRate: 0.1}
+	d0, d1 := base.Derive(0), base.Derive(1)
+	if d0.Seed == d1.Seed {
+		t.Fatal("derived seeds collide")
+	}
+	if d0.TransferRate != base.TransferRate {
+		t.Fatal("Derive changed rates")
+	}
+	if base.Derive(1).Seed != d1.Seed {
+		t.Fatal("Derive not deterministic")
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	if !Transient(ErrTransfer) || !Transient(ErrKernel) {
+		t.Fatal("transfer/kernel faults must be transient")
+	}
+	for _, err := range []error{ErrDeviceLost, ErrOOM, ErrDeadline, ErrChunkAbandoned, nil} {
+		if Transient(err) {
+			t.Fatalf("%v misclassified as transient", err)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=7, rate=0.02, straggler=0.05, factor=3, oomshrink=0.25, loseafter=40, maxfaults=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 7, TransferRate: 0.02, KernelRate: 0.02,
+		StragglerRate: 0.05, StragglerFactor: 3, OOMShrink: 0.25,
+		LossAfterOps: 40, MaxFaults: 9}
+	if cfg != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+
+	cfg, err = ParseSpec("rate=0.1,kernelrate=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TransferRate != 0.1 || cfg.KernelRate != 0.5 {
+		t.Fatalf("kernelrate override broken: %+v", cfg)
+	}
+
+	if cfg, err := ParseSpec("  "); err != nil || cfg.Enabled() {
+		t.Fatalf("empty spec = (%+v, %v)", cfg, err)
+	}
+	for _, bad := range []string{"rate", "rate=x", "nope=1", "rate=1.5", "seed=abc"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}

@@ -24,6 +24,7 @@ package gpusim
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -143,6 +144,11 @@ type Device struct {
 	// each DMA engine (including unified-memory migrations), the
 	// "bytes moved" counters of the observability layer.
 	bytesH2D, bytesD2H int64
+
+	// faults is the optional fault injector; nil (the default) is the
+	// fault-free device, and every consultation below is a single
+	// nil-receiver check on that path.
+	faults *faults.Injector
 }
 
 // NewDevice creates a device within the environment.
@@ -171,8 +177,22 @@ func (d *Device) BytesH2D() int64 { return d.bytesH2D }
 // BytesD2H reports the total payload bytes moved device-to-host.
 func (d *Device) BytesD2H() int64 { return d.bytesD2H }
 
-// transferTime converts a byte count to seconds on a DMA engine.
-func (d *Device) transferTime(bytes int64, bw float64) sim.Duration {
+// SetFaults attaches a fault injector; nil detaches it.
+func (d *Device) SetFaults(inj *faults.Injector) { d.faults = inj }
+
+// Faults returns the attached injector (nil when fault-free).
+func (d *Device) Faults() *faults.Injector { return d.faults }
+
+// UsableBytes is the device capacity available to allocations:
+// MemoryBytes minus whatever the injector's OOM pressure withholds.
+// Fault-free it equals Cfg.MemoryBytes exactly.
+func (d *Device) UsableBytes() int64 {
+	return d.Cfg.MemoryBytes - d.faults.Shrink(d.Cfg.MemoryBytes)
+}
+
+// transferTime converts a byte count to seconds on a DMA engine,
+// scaled by an injected straggler slowdown (1 when healthy).
+func (d *Device) transferTime(bytes int64, bw, slowdown float64) sim.Duration {
 	secs := d.Cfg.TransferLatency + float64(bytes)/bw
 	if d.Cfg.PageableHostMemory {
 		penalty := d.Cfg.PageablePenalty
@@ -181,24 +201,46 @@ func (d *Device) transferTime(bytes int64, bw float64) sim.Duration {
 		}
 		secs *= penalty
 	}
-	return sim.Seconds(secs)
+	return sim.Seconds(secs * slowdown)
 }
 
-// TransferH2D moves bytes from host to device, occupying the H2D engine.
-func (d *Device) TransferH2D(p *sim.Proc, label string, bytes int64) {
+// TransferH2D moves bytes from host to device, occupying the H2D
+// engine. Under fault injection it may fail transiently (the failed
+// attempt consumes no engine time or byte accounting — the retry
+// layer's backoff supplies the lost time) or run slow; errors wrap
+// faults.ErrTransfer or faults.ErrDeviceLost.
+func (d *Device) TransferH2D(p *sim.Proc, label string, bytes int64) error {
+	slow, err := d.faults.Transfer()
+	if err != nil {
+		return fmt.Errorf("gpusim: h2d %s (%d bytes): %w", label, bytes, err)
+	}
 	d.bytesH2D += bytes
-	p.Use(d.H2D, label, d.transferTime(bytes, d.Cfg.H2DBandwidth))
+	p.Use(d.H2D, label, d.transferTime(bytes, d.Cfg.H2DBandwidth, slow))
+	return nil
 }
 
-// TransferD2H moves bytes from device to host, occupying the D2H engine.
-func (d *Device) TransferD2H(p *sim.Proc, label string, bytes int64) {
+// TransferD2H moves bytes from device to host, occupying the D2H
+// engine; fault semantics as TransferH2D.
+func (d *Device) TransferD2H(p *sim.Proc, label string, bytes int64) error {
+	slow, err := d.faults.Transfer()
+	if err != nil {
+		return fmt.Errorf("gpusim: d2h %s (%d bytes): %w", label, bytes, err)
+	}
 	d.bytesD2H += bytes
-	p.Use(d.D2H, label, d.transferTime(bytes, d.Cfg.D2HBandwidth))
+	p.Use(d.D2H, label, d.transferTime(bytes, d.Cfg.D2HBandwidth, slow))
+	return nil
 }
 
 // Kernel runs a kernel of the given duration on the compute engine.
-func (d *Device) Kernel(p *sim.Proc, label string, seconds float64) {
-	p.Use(d.Compute, label, sim.Seconds(seconds+d.Cfg.KernelLaunch))
+// Under fault injection it may fail transiently (wrapping
+// faults.ErrKernel) or stretch by a straggler factor.
+func (d *Device) Kernel(p *sim.Proc, label string, seconds float64) error {
+	slow, err := d.faults.Kernel()
+	if err != nil {
+		return fmt.Errorf("gpusim: kernel %s: %w", label, err)
+	}
+	p.Use(d.Compute, label, sim.Seconds(seconds*slow+d.Cfg.KernelLaunch))
+	return nil
 }
 
 // Alloc is a device memory allocation.
@@ -211,15 +253,19 @@ type Alloc struct {
 // Malloc allocates device memory. Per CUDA semantics it is a
 // device-wide barrier: it drains and holds the compute engine and both
 // DMA engines for the allocation latency, which is precisely why the
-// paper's asynchronous design pre-allocates everything. It returns an
-// error when device memory is exhausted.
+// paper's asynchronous design pre-allocates everything. Exhausting the
+// usable capacity returns an error wrapping faults.ErrOOM; a lost
+// device returns faults.ErrDeviceLost.
 func (d *Device) Malloc(p *sim.Proc, label string, bytes int64) (*Alloc, error) {
 	if bytes < 0 {
 		return nil, fmt.Errorf("gpusim: negative allocation %d", bytes)
 	}
-	if d.memUsed+bytes > d.Cfg.MemoryBytes {
-		return nil, fmt.Errorf("gpusim: out of device memory: %d used + %d requested > %d capacity",
-			d.memUsed, bytes, d.Cfg.MemoryBytes)
+	if err := d.faults.Alloc(); err != nil {
+		return nil, fmt.Errorf("gpusim: malloc %s: %w", label, err)
+	}
+	if usable := d.UsableBytes(); d.memUsed+bytes > usable {
+		return nil, fmt.Errorf("gpusim: %d used + %d requested > %d usable: %w",
+			d.memUsed, bytes, usable, faults.ErrOOM)
 	}
 	d.barrier(p, "malloc "+label)
 	d.memUsed += bytes
@@ -231,13 +277,17 @@ func (d *Device) Malloc(p *sim.Proc, label string, bytes int64) (*Alloc, error) 
 }
 
 // Free releases an allocation, also stalling the device like Malloc.
-func (d *Device) Free(p *sim.Proc, a *Alloc) {
+// Releasing the same allocation twice is reported as an error (a
+// caller bug in real CUDA, but one the engines must surface rather
+// than crash the library on).
+func (d *Device) Free(p *sim.Proc, a *Alloc) error {
 	if a.freed {
-		panic("gpusim: double free")
+		return fmt.Errorf("gpusim: double free of %d-byte allocation", a.Bytes)
 	}
 	a.freed = true
 	d.barrier(p, "free")
 	d.memUsed -= a.Bytes
+	return nil
 }
 
 // barrier acquires every engine in a fixed order, holds them for the
@@ -256,9 +306,9 @@ func (d *Device) barrier(p *sim.Proc, label string) {
 // pre-allocated arenas that suballocate by offset (Section IV-B's
 // "doing our own memory management").
 func (d *Device) Reserve(bytes int64) error {
-	if d.memUsed+bytes > d.Cfg.MemoryBytes {
-		return fmt.Errorf("gpusim: out of device memory: %d used + %d requested > %d capacity",
-			d.memUsed, bytes, d.Cfg.MemoryBytes)
+	if usable := d.UsableBytes(); d.memUsed+bytes > usable {
+		return fmt.Errorf("gpusim: %d used + %d requested > %d usable: %w",
+			d.memUsed, bytes, usable, faults.ErrOOM)
 	}
 	d.memUsed += bytes
 	if d.memUsed > d.memPeak {
@@ -267,8 +317,16 @@ func (d *Device) Reserve(bytes int64) error {
 	return nil
 }
 
-// Unreserve returns memory accounted via Reserve.
-func (d *Device) Unreserve(bytes int64) { d.memUsed -= bytes }
+// Unreserve returns memory accounted via Reserve. Returning more than
+// is reserved is an accounting bug in the caller; it is reported
+// rather than silently driving memUsed negative.
+func (d *Device) Unreserve(bytes int64) error {
+	if bytes > d.memUsed {
+		return fmt.Errorf("gpusim: unreserve of %d bytes exceeds %d in use", bytes, d.memUsed)
+	}
+	d.memUsed -= bytes
+	return nil
+}
 
 // UMRead models a unified-memory read of bytes resident on the host:
 // the data migrates page by page over the H2D engine, paying a fault

@@ -157,7 +157,7 @@ func TestMallocAccountingAndOOM(t *testing.T) {
 	}
 }
 
-func TestDoubleFreePanics(t *testing.T) {
+func TestDoubleFreeError(t *testing.T) {
 	env := sim.NewEnv()
 	dev := NewDevice(env, testConfig())
 	env.Spawn("p", func(p *sim.Proc) {
@@ -166,13 +166,15 @@ func TestDoubleFreePanics(t *testing.T) {
 			t.Errorf("Malloc: %v", err)
 			return
 		}
-		dev.Free(p, a)
-		defer func() {
-			if recover() == nil {
-				t.Error("expected panic on double free")
-			}
-		}()
-		dev.Free(p, a)
+		if err := dev.Free(p, a); err != nil {
+			t.Errorf("first Free: %v", err)
+		}
+		if err := dev.Free(p, a); err == nil {
+			t.Error("expected error on double free")
+		}
+		if dev.MemUsed() != 0 {
+			t.Errorf("MemUsed after double free = %d (must not go negative)", dev.MemUsed())
+		}
 	})
 	if err := env.Run(); err != nil {
 		t.Fatal(err)
@@ -190,12 +192,55 @@ func TestReserveUnreserve(t *testing.T) {
 	if err := dev.Reserve(30); err == nil {
 		t.Fatal("expected reserve OOM")
 	}
-	dev.Unreserve(80)
+	if err := dev.Unreserve(80); err != nil {
+		t.Fatal(err)
+	}
 	if dev.MemUsed() != 0 {
 		t.Fatalf("MemUsed = %d", dev.MemUsed())
 	}
 	if dev.MemPeak() != 80 {
 		t.Fatalf("MemPeak = %d", dev.MemPeak())
+	}
+}
+
+// TestUnreserveUnderflowGuard checks that unbalanced Unreserve calls
+// are rejected instead of driving memUsed negative, and that Reserve
+// and Unreserve stay paired through a mixed sequence.
+func TestUnreserveUnderflowGuard(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := testConfig()
+	cfg.MemoryBytes = 100
+	dev := NewDevice(env, cfg)
+	if err := dev.Unreserve(1); err == nil {
+		t.Fatal("expected error for unreserve with nothing in use")
+	}
+	// A paired sequence of reserves and unreserves must balance to 0
+	// and every unbalanced step must be rejected with state unchanged.
+	steps := []struct {
+		reserve bool
+		bytes   int64
+		wantErr bool
+	}{
+		{true, 40, false},
+		{true, 50, false},
+		{false, 100, true}, // exceeds the 90 in use
+		{false, 50, false},
+		{false, 41, true}, // exceeds the 40 in use
+		{false, 40, false},
+	}
+	for i, s := range steps {
+		var err error
+		if s.reserve {
+			err = dev.Reserve(s.bytes)
+		} else {
+			err = dev.Unreserve(s.bytes)
+		}
+		if (err != nil) != s.wantErr {
+			t.Fatalf("step %d: err = %v, wantErr = %v", i, err, s.wantErr)
+		}
+	}
+	if dev.MemUsed() != 0 {
+		t.Fatalf("MemUsed after balanced sequence = %d", dev.MemUsed())
 	}
 }
 

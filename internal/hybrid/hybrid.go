@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpuspgemm"
 	"repro/internal/csr"
+	"repro/internal/faults"
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -108,6 +109,9 @@ type Stats struct {
 	GPUSec, CPUSec float64
 	// Ratio is the flop share requested for the GPU.
 	Ratio float64
+	// FallbackChunks counts GPU chunks the CPU worker absorbed after
+	// their device-side retries were exhausted (graceful degradation).
+	FallbackChunks int
 }
 
 // Counters extends the core counters with the device split, keeping
@@ -119,6 +123,7 @@ func (s Stats) Counters() map[string]int64 {
 	out["cpu_chunks"] = int64(s.CPUChunks)
 	out["gpu_flops"] = s.GPUFlops
 	out["cpu_flops"] = s.CPUFlops
+	out[metrics.CounterFallbacks] = int64(s.FallbackChunks)
 	return out
 }
 
@@ -222,37 +227,85 @@ func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, 
 	}
 	wholeSec := opts.Host.ChunkSeconds(hashF, denseF, outNnz*12+int64(a.Rows+1)*8)
 
+	// cpuChunk runs one chunk on the real multi-core CPU engine and
+	// registers the result under a simulated span of the given label.
+	// The hash implementation is the one the paper takes from Nagasaka
+	// et al.; it runs on the shared work-stealing runtime and recycles
+	// its accumulators through the internal/accum pool, so successive
+	// chunks reuse the tables the previous chunk grew. Its own metrics
+	// stay off: the hybrid run publishes one combined counter set
+	// below, and the CPU share is already the timeline's "cpu" lane.
+	cpuChunk := func(p *sim.Proc, id int, label string) error {
+		nc := len(eng.ColPanels)
+		rp, cp := eng.RowPanels[id/nc], eng.ColPanels[id%nc]
+		c, err := cpuspgemm.Multiply(rp.M, cp.M, cpuspgemm.Options{
+			Threads: opts.Host.Threads, Method: cpuspgemm.Hash,
+		})
+		if err != nil {
+			return err
+		}
+		sec := 0.0
+		if total > 0 {
+			sec = wholeSec * float64(flops[id]) / float64(total)
+		}
+		p.Span("cpu", fmt.Sprintf("%s %d", label, id), sim.Seconds(sec))
+		eng.PutCPUResult(id, c, flops[id])
+		return nil
+	}
+	pastDeadline := func() (float64, bool) {
+		now := sim.SecondsAt(env.Now())
+		return now, opts.Core.DeadlineSec > 0 && now > opts.Core.DeadlineSec
+	}
+
 	var cpuErr error
+	gpuDone := &sim.Signal{}
 	env.Spawn("gpu", func(p *sim.Proc) {
 		eng.ProcessChunks(p, gpuIDs)
 		st.GPUSec = sim.SecondsAt(env.Now())
+		gpuDone.Fire(p)
 	})
 	env.Spawn("cpu", func(p *sim.Proc) {
 		for _, id := range cpuIDs {
-			nc := len(eng.ColPanels)
-			rp, cp := eng.RowPanels[id/nc], eng.ColPanels[id%nc]
-			// Real multi-core multiplication (the hash implementation
-			// the paper takes from Nagasaka et al.). Multiply runs on
-			// the shared work-stealing runtime and recycles its
-			// accumulators through the internal/accum pool, so
-			// successive chunks here reuse the tables the previous
-			// chunk grew.
-			// The worker's own metrics stay off here: the hybrid run
-			// publishes one combined counter set below, and the CPU
-			// share is already visible as the timeline's "cpu" lane.
-			c, err := cpuspgemm.Multiply(rp.M, cp.M, cpuspgemm.Options{
-				Threads: opts.Host.Threads, Method: cpuspgemm.Hash,
-			})
-			if err != nil {
+			if now, late := pastDeadline(); late {
+				cpuErr = fmt.Errorf("hybrid: cpu worker: %w: simulated clock at %.6fs past %.6fs",
+					faults.ErrDeadline, now, opts.Core.DeadlineSec)
+				return
+			}
+			if err := cpuChunk(p, id, "chunk"); err != nil {
 				cpuErr = err
 				return
 			}
-			sec := 0.0
-			if total > 0 {
-				sec = wholeSec * float64(flops[id]) / float64(total)
+		}
+		st.CPUSec = sim.SecondsAt(env.Now())
+
+		// Graceful degradation: chunks the GPU abandoned (retries
+		// exhausted, arena misfits, a lost device) drain to this
+		// worker once the GPU pipeline winds down, instead of failing
+		// the run. The same exact arithmetic runs either way, so the
+		// product is unchanged — only the simulated schedule pays.
+		p.Await(gpuDone)
+		orphans := make([]int, 0, len(eng.Failed()))
+		for id, ferr := range eng.Failed() {
+			if core.IsRecoverable(ferr) {
+				orphans = append(orphans, id)
 			}
-			p.Span("cpu", fmt.Sprintf("chunk %d", id), sim.Seconds(sec))
-			eng.PutCPUResult(id, c, flops[id])
+		}
+		if len(orphans) == 0 {
+			return
+		}
+		sort.Ints(orphans)
+		for _, id := range orphans {
+			if now, late := pastDeadline(); late {
+				cpuErr = fmt.Errorf("hybrid: fallback: %w: simulated clock at %.6fs past %.6fs",
+					faults.ErrDeadline, now, opts.Core.DeadlineSec)
+				return
+			}
+			if err := cpuChunk(p, id, "fallback chunk"); err != nil {
+				cpuErr = err
+				return
+			}
+			eng.ClearFailed(id)
+			st.FallbackChunks++
 		}
 		st.CPUSec = sim.SecondsAt(env.Now())
 	})
@@ -265,6 +318,9 @@ func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, 
 	if cpuErr != nil {
 		return nil, Stats{}, cpuErr
 	}
+	if err := eng.FailedError(); err != nil {
+		return nil, Stats{}, err
+	}
 	c, err := eng.Assemble()
 	if err != nil {
 		return nil, Stats{}, err
@@ -274,6 +330,9 @@ func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, 
 		m.ImportSim(env.Timeline)
 		for k, v := range st.Counters() {
 			m.Add(k, v)
+		}
+		for kind, n := range dev.Faults().Counts() {
+			m.Add("faults_injected_"+kind, n)
 		}
 	}
 	return c, st, nil

@@ -78,10 +78,10 @@ func (s Span) Dur() int64 { return s.End - s.Start }
 // recorded per phase or per simulated operation, far off any
 // per-element hot loop).
 type Collector struct {
-	mu      sync.Mutex
-	spans   []Span
-	start   time.Time // wall-clock epoch for Wall-domain spans
-	counters sync.Map // string -> *int64
+	mu       sync.Mutex
+	spans    []Span
+	start    time.Time // wall-clock epoch for Wall-domain spans
+	counters sync.Map  // string -> *int64
 }
 
 // New creates an empty collector whose wall-clock spans are measured
@@ -234,6 +234,18 @@ const (
 	CounterPoolGets = "accum_pool_gets"
 	CounterPoolNews = "accum_pool_news"
 	CounterRows     = "rows"
+
+	// Recovery counters. Retries counts transient device faults
+	// absorbed by retrying; Abandoned counts transient faults that
+	// exhausted a chunk's budget (Retries+Abandoned reconciles with the
+	// injector's fault count); Fallbacks counts GPU chunks recomputed
+	// on the CPU; Failovers counts chunks redistributed off a failed
+	// device; DevicesLost counts devices that died mid-run.
+	CounterRetries     = "recovery_retries"
+	CounterAbandoned   = "recovery_abandoned"
+	CounterFallbacks   = "recovery_fallbacks"
+	CounterFailovers   = "recovery_failovers"
+	CounterDevicesLost = "recovery_devices_lost"
 )
 
 // Snapshot flattens the collector into sorted key/value pairs: every

@@ -11,6 +11,13 @@
 // the flops exactly as in the hybrid engine. Every simulated GPU has
 // its own DMA engines (cards on separate PCIe slots); all share one
 // virtual clock.
+//
+// Chunk independence is also what makes the engine fault-tolerant: a
+// chunk that fails on one device (retries exhausted, or the device
+// lost mid-run) is handed to a small controller that redistributes it
+// — to a surviving GPU while one exists and the chunk's redistribution
+// budget lasts, otherwise to the CPU worker. Only chunks with no
+// remaining healthy worker strand the run in a typed error.
 package multigpu
 
 import (
@@ -20,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpuspgemm"
 	"repro/internal/csr"
+	"repro/internal/faults"
 	"repro/internal/gpusim"
 	"repro/internal/hybrid"
 	"repro/internal/metrics"
@@ -27,10 +35,17 @@ import (
 	"repro/internal/speck"
 )
 
+// maxRedistributes bounds how many times one chunk may bounce between
+// GPUs before it is sent to the CPU (or stranded); it prevents a
+// livelock where an unlucky chunk ping-pongs among degraded devices.
+const maxRedistributes = 2
+
 // Options configures a multi-GPU run.
 type Options struct {
 	// Core configures the chunk grid and the per-GPU pipeline (Async
-	// is forced on).
+	// is forced on). Core.Faults seeds a per-device injector derived
+	// from the base seed, so each GPU replays an independent but
+	// deterministic fault stream.
 	Core core.Options
 	// NumGPUs is the device count; 0 means 1.
 	NumGPUs int
@@ -54,14 +69,24 @@ type Stats struct {
 	Flops    int64
 	GFLOPS   float64
 	NnzC     int64
-	// GPUChunks[i] is the chunk count GPU i processed; CPUChunks the
-	// CPU worker's count.
+	// GPUChunks[i] is the chunk count scheduled on GPU i (its initial
+	// share plus any chunks it adopted); CPUChunks the CPU worker's
+	// count.
 	GPUChunks []int
 	CPUChunks int
 	// GPUBusySec[i] is the finish time of GPU i's worker.
 	GPUBusySec []float64
 	// BytesH2D and BytesD2H sum the payload bytes moved by all devices.
 	BytesH2D, BytesD2H int64
+	// Retries and Abandoned sum the per-device transient-fault
+	// recovery counters (see core.Stats).
+	Retries, Abandoned int64
+	// Failovers counts chunk redistributions off a failing device;
+	// FallbackChunks the subset absorbed by the CPU worker; LostGPUs
+	// the devices that died mid-run.
+	Failovers      int
+	FallbackChunks int
+	LostGPUs       int
 }
 
 // Seconds returns the simulated makespan; part of metrics.Report.
@@ -83,14 +108,19 @@ func (s Stats) Counters() map[string]int64 {
 		gpuChunks += int64(n)
 	}
 	return map[string]int64{
-		metrics.CounterFlops:    s.Flops,
-		metrics.CounterBytesH2D: s.BytesH2D,
-		metrics.CounterBytesD2H: s.BytesD2H,
-		metrics.CounterChunks:   gpuChunks + int64(s.CPUChunks),
-		metrics.CounterNnzC:     s.NnzC,
-		"gpus":                  int64(len(s.GPUChunks)),
-		"gpu_chunks":            gpuChunks,
-		"cpu_chunks":            int64(s.CPUChunks),
+		metrics.CounterFlops:       s.Flops,
+		metrics.CounterBytesH2D:    s.BytesH2D,
+		metrics.CounterBytesD2H:    s.BytesD2H,
+		metrics.CounterChunks:      gpuChunks + int64(s.CPUChunks),
+		metrics.CounterNnzC:        s.NnzC,
+		"gpus":                     int64(len(s.GPUChunks)),
+		"gpu_chunks":               gpuChunks,
+		"cpu_chunks":               int64(s.CPUChunks),
+		metrics.CounterRetries:     s.Retries,
+		metrics.CounterAbandoned:   s.Abandoned,
+		metrics.CounterFailovers:   int64(s.Failovers),
+		metrics.CounterFallbacks:   int64(s.FallbackChunks),
+		metrics.CounterDevicesLost: int64(s.LostGPUs),
 	}
 }
 
@@ -116,6 +146,83 @@ func Assign(ids []int, flops []int64, n int) [][]int {
 	return out
 }
 
+// controller owns the failover state shared by all workers. It is only
+// touched from simulation processes — the discrete-event kernel runs
+// exactly one at a time, so the plain fields need no locking and every
+// decision lands in deterministic order.
+type controller struct {
+	orphans  []int // chunks awaiting adoption by a surviving GPU
+	cpuQueue []int // chunks past their GPU budget, bound for the CPU
+	stranded map[int]error
+	tries    map[int]int
+	aliveGPU int
+	busy     int // workers currently processing (not waiting/exited)
+	hasCPU   bool
+	sig      *sim.Signal
+
+	failovers int
+}
+
+// wake signals every waiting worker (work arrived or a worker left)
+// and arms a fresh signal for the next round of waiters.
+func (c *controller) wake(p *sim.Proc) {
+	old := c.sig
+	c.sig = &sim.Signal{}
+	old.Fire(p)
+}
+
+// route disposes of the chunks a worker reports as failed: recoverable
+// ones go back into circulation (surviving GPUs first, then the CPU),
+// the rest are stranded. The reporting engine's failed set is cleared
+// — the chunks are the controller's problem now.
+func (c *controller) route(eng *core.Engine, failed []int, fromGPU bool) {
+	for _, id := range failed {
+		err := eng.Failed()[id]
+		eng.ClearFailed(id)
+		if !core.IsRecoverable(err) {
+			c.stranded[id] = err
+			continue
+		}
+		if fromGPU {
+			c.failovers++
+		}
+		c.tries[id]++
+		switch {
+		case c.aliveGPU > 0 && c.tries[id] <= maxRedistributes:
+			c.orphans = append(c.orphans, id)
+		case c.hasCPU:
+			c.cpuQueue = append(c.cpuQueue, id)
+		default:
+			c.stranded[id] = err
+		}
+	}
+}
+
+// gpuDied retires a lost device. With no GPU left, pending orphans are
+// pushed to the CPU queue (or stranded when there is no CPU worker).
+func (c *controller) gpuDied(p *sim.Proc) {
+	c.aliveGPU--
+	c.busy--
+	if c.aliveGPU == 0 {
+		for _, id := range c.orphans {
+			if c.hasCPU {
+				c.cpuQueue = append(c.cpuQueue, id)
+			} else {
+				c.stranded[id] = fmt.Errorf("multigpu: chunk %d: no surviving worker: %w", id, faults.ErrDeviceLost)
+			}
+		}
+		c.orphans = nil
+	}
+	c.wake(p)
+}
+
+// take empties one of the controller's queues, preserving order.
+func take(q *[]int) []int {
+	batch := *q
+	*q = nil
+	return batch
+}
+
 // Run multiplies A·B across NumGPUs simulated devices (plus optionally
 // the CPU) and returns the exact product and statistics.
 func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, Stats, error) {
@@ -138,10 +245,14 @@ func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, 
 
 	env := sim.NewEnv()
 
-	// One engine per GPU. The first engine also assembles the result.
+	// One engine per GPU, each with an independently seeded injector.
+	// The first engine also assembles the result.
 	engines := make([]*core.Engine, opts.NumGPUs)
 	for g := range engines {
 		dev := gpusim.NewDevice(env, cfg)
+		if opts.Core.Faults.Enabled() {
+			dev.SetFaults(faults.New(opts.Core.Faults.Derive(g)))
+		}
 		eng, err := core.NewEngine(dev, a, b, opts.Core)
 		if err != nil {
 			return nil, Stats{}, err
@@ -173,33 +284,115 @@ func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, 
 		CPUChunks:  len(cpuIDs),
 	}
 
+	// The CPU worker exists when it has an initial share, or (under
+	// fault injection) as the adopter of last resort for chunks no GPU
+	// can finish.
+	spawnCPU := len(cpuIDs) > 0 || (opts.UseCPU && opts.Core.Faults.Enabled())
+	ctl := &controller{
+		stranded: map[int]error{},
+		tries:    map[int]int{},
+		aliveGPU: opts.NumGPUs,
+		busy:     opts.NumGPUs,
+		hasCPU:   spawnCPU,
+		sig:      &sim.Signal{},
+	}
+	if spawnCPU {
+		ctl.busy++
+	}
+
 	var cpuErr error
 	for g := range engines {
 		g := g
 		st.GPUChunks[g] = len(shares[g])
 		env.Spawn(fmt.Sprintf("gpu%d", g), func(p *sim.Proc) {
-			engines[g].ProcessChunks(p, shares[g])
+			eng := engines[g]
+			failed := eng.ProcessChunks(p, shares[g])
 			st.GPUBusySec[g] = sim.SecondsAt(env.Now())
+			for {
+				ctl.route(eng, failed, true)
+				failed = nil
+				if eng.DeviceLost() {
+					ctl.gpuDied(p)
+					return
+				}
+				batch := take(&ctl.orphans)
+				if batch == nil {
+					// Nothing to adopt; wait for redistributed work or
+					// for every worker to go idle (global termination).
+					ctl.busy--
+					for batch == nil {
+						if ctl.busy == 0 {
+							ctl.wake(p)
+							return
+						}
+						sig := ctl.sig
+						p.Await(sig)
+						batch = take(&ctl.orphans)
+					}
+					ctl.busy++
+				}
+				failed = eng.ProcessChunks(p, batch)
+				st.GPUBusySec[g] = sim.SecondsAt(env.Now())
+				st.GPUChunks[g] += len(batch)
+			}
 		})
 	}
-	if len(cpuIDs) > 0 {
+	if spawnCPU {
 		env.Spawn("cpu", func(p *sim.Proc) {
 			hashF, denseF, outNnz := speck.ClassifyFlops(a, b)
 			wholeSec := opts.Host.ChunkSeconds(hashF, denseF, outNnz*12+int64(a.Rows+1)*8)
-			for _, id := range cpuIDs {
-				nc := len(engines[0].ColPanels)
-				rp, cp := engines[0].RowPanels[id/nc], engines[0].ColPanels[id%nc]
-				c, err := cpuspgemm.Multiply(rp.M, cp.M, cpuspgemm.Options{Threads: opts.Host.Threads})
-				if err != nil {
+			runIDs := func(ids []int, label string) error {
+				for _, id := range ids {
+					if d := opts.Core.DeadlineSec; d > 0 && sim.SecondsAt(env.Now()) > d {
+						return fmt.Errorf("multigpu: cpu worker: %w: simulated clock at %.6fs past %.6fs",
+							faults.ErrDeadline, sim.SecondsAt(env.Now()), d)
+					}
+					nc := len(engines[0].ColPanels)
+					rp, cp := engines[0].RowPanels[id/nc], engines[0].ColPanels[id%nc]
+					c, err := cpuspgemm.Multiply(rp.M, cp.M, cpuspgemm.Options{Threads: opts.Host.Threads})
+					if err != nil {
+						return err
+					}
+					sec := 0.0
+					if totalFlops > 0 {
+						sec = wholeSec * float64(flops[id]) / float64(totalFlops)
+					}
+					p.Span("cpu", fmt.Sprintf("%s %d", label, id), sim.Seconds(sec))
+					engines[0].PutCPUResult(id, c, flops[id])
+				}
+				return nil
+			}
+			if err := runIDs(cpuIDs, "chunk"); err != nil {
+				cpuErr = err
+				ctl.busy--
+				ctl.wake(p)
+				return
+			}
+			for {
+				batch := take(&ctl.cpuQueue)
+				if batch == nil {
+					ctl.busy--
+					for batch == nil {
+						if ctl.busy == 0 {
+							ctl.wake(p)
+							return
+						}
+						sig := ctl.sig
+						p.Await(sig)
+						batch = take(&ctl.cpuQueue)
+					}
+					ctl.busy++
+				}
+				// Adopted chunks run on the real CPU engine — the exact
+				// product either way, only the schedule pays.
+				if err := runIDs(batch, "fallback chunk"); err != nil {
 					cpuErr = err
+					ctl.busy--
+					ctl.wake(p)
 					return
 				}
-				sec := 0.0
-				if totalFlops > 0 {
-					sec = wholeSec * float64(flops[id]) / float64(totalFlops)
-				}
-				p.Span("cpu", fmt.Sprintf("chunk %d", id), sim.Seconds(sec))
-				engines[0].PutCPUResult(id, c, flops[id])
+				st.FallbackChunks += len(batch)
+				st.CPUChunks += len(batch)
 			}
 		})
 	}
@@ -213,6 +406,32 @@ func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, 
 	}
 	if cpuErr != nil {
 		return nil, Stats{}, cpuErr
+	}
+	st.Failovers = ctl.failovers
+	st.LostGPUs = opts.NumGPUs - ctl.aliveGPU
+	for _, eng := range engines {
+		st.Retries += eng.Retries()
+		st.Abandoned += eng.Abandoned()
+	}
+	// Anything still failed or queued at this point has no worker left
+	// to run it: surface a typed error instead of a partial product.
+	leftover := append(take(&ctl.orphans), take(&ctl.cpuQueue)...)
+	for _, id := range leftover {
+		ctl.stranded[id] = fmt.Errorf("multigpu: chunk %d: no surviving worker: %w", id, faults.ErrDeviceLost)
+	}
+	for _, eng := range engines {
+		if err := eng.FailedError(); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	if len(ctl.stranded) > 0 {
+		ids := make([]int, 0, len(ctl.stranded))
+		for id := range ctl.stranded {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		return nil, Stats{}, fmt.Errorf("multigpu: %d chunks stranded (first: chunk %d): %w",
+			len(ids), ids[0], ctl.stranded[ids[0]])
 	}
 
 	// Merge all results into engine 0 and assemble.
@@ -238,6 +457,11 @@ func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, 
 		m.ImportSim(env.Timeline)
 		for k, v := range st.Counters() {
 			m.Add(k, v)
+		}
+		for _, eng := range engines {
+			for kind, n := range eng.Dev.Faults().Counts() {
+				m.Add("faults_injected_"+kind, n)
+			}
 		}
 	}
 	return c, st, nil

@@ -61,7 +61,11 @@ func RowPanels(a *csr.Matrix, num int) ([]RowPanel, error) {
 	b := Bounds(a.Rows, num)
 	out := make([]RowPanel, num)
 	for i := 0; i < num; i++ {
-		out[i] = RowPanel{Start: b[i], End: b[i+1], M: a.ExtractRows(b[i], b[i+1])}
+		m, err := a.ExtractRows(b[i], b[i+1])
+		if err != nil {
+			return nil, fmt.Errorf("partition: row panel %d: %w", i, err)
+		}
+		out[i] = RowPanel{Start: b[i], End: b[i+1], M: m}
 	}
 	return out, nil
 }

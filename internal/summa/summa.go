@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpuspgemm"
 	"repro/internal/csr"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/sim"
@@ -55,6 +56,10 @@ type Config struct {
 	// Metrics is an optional observability sink receiving the cluster
 	// timeline (net and compute lanes) and the run counters.
 	Metrics *metrics.Collector
+	// DeadlineSec aborts the run with faults.ErrDeadline once the
+	// simulated clock passes it (checked between SUMMA stages). 0 means
+	// no deadline.
+	DeadlineSec float64
 }
 
 func (c Config) withDefaults() Config {
@@ -229,6 +234,11 @@ func Run(a, b *csr.Matrix, cfg Config) (*csr.Matrix, Stats, error) {
 				}
 
 				for k := 0; k < q; k++ {
+					if d := cfg.DeadlineSec; d > 0 && sim.SecondsAt(env.Now()) > d {
+						st.err = fmt.Errorf("summa: node(%d,%d) stage %d: %w: simulated clock at %.6fs past %.6fs",
+							i, j, k, faults.ErrDeadline, sim.SecondsAt(env.Now()), d)
+						return
+					}
 					if cfg.Pipelined {
 						p.Await(fetched[k])
 					} else if comm := stageComm(k); comm > 0 {
@@ -267,6 +277,16 @@ func Run(a, b *csr.Matrix, cfg Config) (*csr.Matrix, Stats, error) {
 		}
 	}
 	if err := env.Run(); err != nil {
+		// A node that aborts at the deadline strands its peers at the
+		// stage barrier; surface the typed node error over the kernel's
+		// deadlock report.
+		for i := 0; i < q; i++ {
+			for j := 0; j < q; j++ {
+				if nodes[i][j].err != nil {
+					return nil, Stats{}, nodes[i][j].err
+				}
+			}
+		}
 		return nil, Stats{}, err
 	}
 

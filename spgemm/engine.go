@@ -1,6 +1,7 @@
 package spgemm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -60,6 +61,27 @@ type RunOptions struct {
 	// Metrics, when non-nil, receives every engine's spans and
 	// counters; export it with WriteChromeTrace or Snapshot.
 	Metrics *Collector
+	// Faults configures deterministic fault injection on the simulated
+	// devices of the gpu, gpu-sync, hybrid and multigpu engines. The
+	// zero value is fault-free.
+	Faults FaultConfig
+	// ChunkRetries bounds the transient-fault retries per chunk before
+	// it is handed to a recovery path (0 means 3, negative disables).
+	ChunkRetries int
+	// DeadlineSec aborts a run once its clock passes it: the simulated
+	// clock for device engines and SUMMA, the wall clock for the cpu
+	// engine. 0 means no deadline.
+	DeadlineSec float64
+}
+
+// wallDeadline converts DeadlineSec into a wall-clock cancellation
+// hook for the real-CPU engines, whose time domain is wall time.
+func (o RunOptions) wallDeadline() func() bool {
+	if o.DeadlineSec <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(time.Duration(o.DeadlineSec * float64(time.Second)))
+	return func() bool { return time.Now().After(deadline) }
 }
 
 func (o *RunOptions) withDefaults() RunOptions {
@@ -90,6 +112,9 @@ func (o RunOptions) coreOptions(a, b *Matrix, async bool) (OutOfCoreOptions, err
 	}
 	opts.Async = async
 	opts.Metrics = o.Metrics
+	opts.Faults = o.Faults
+	opts.ChunkRetries = o.ChunkRetries
+	opts.DeadlineSec = o.DeadlineSec
 	return opts, nil
 }
 
@@ -223,9 +248,13 @@ func init() {
 		name:     "cpu",
 		describe: "real multi-core two-phase SpGEMM with per-row accumulator selection (Nagasaka et al.)",
 		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
-			return cpuEngine(a, b, func() (*Matrix, error) {
-				return cpuspgemm.Multiply(a, b, cpuspgemm.Options{Threads: o.Threads, Metrics: o.Metrics})
+			c, st, err := cpuEngine(a, b, func() (*Matrix, error) {
+				return cpuspgemm.Multiply(a, b, cpuspgemm.Options{Threads: o.Threads, Metrics: o.Metrics, Cancel: o.wallDeadline()})
 			})
+			if errors.Is(err, cpuspgemm.ErrCanceled) {
+				err = fmt.Errorf("spgemm: cpu engine: %w: %w", ErrDeadline, err)
+			}
+			return c, st, err
 		},
 	})
 	Register(&engine{
@@ -329,6 +358,9 @@ func init() {
 			cfg.Metrics = o.Metrics
 			if cfg.Threads == 0 {
 				cfg.Threads = o.Threads
+			}
+			if cfg.DeadlineSec == 0 {
+				cfg.DeadlineSec = o.DeadlineSec
 			}
 			c, st, err := MultiplySUMMA(a, b, cfg)
 			if err != nil {

@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpuspgemm"
 	"repro/internal/csr"
+	"repro/internal/faults"
 	"repro/internal/gpusim"
 	"repro/internal/hybrid"
 	"repro/internal/mmio"
@@ -44,6 +45,35 @@ import (
 	"repro/internal/reorder"
 	"repro/internal/speck"
 	"repro/internal/summa"
+)
+
+// FaultConfig configures deterministic fault injection on the
+// simulated devices (seeded transfer/kernel failures, stragglers, OOM
+// pressure, device loss). The zero value is fault-free and leaves runs
+// byte-identical to a build without the injection layer; pass it via
+// RunOptions.Faults or OutOfCoreOptions.Faults.
+type FaultConfig = faults.Config
+
+// ParseFaultSpec parses the CLI fault specification, a comma-separated
+// key=value list such as "seed=7,rate=0.02,loseafter=40".
+func ParseFaultSpec(spec string) (FaultConfig, error) { return faults.ParseSpec(spec) }
+
+// The fault/recovery error taxonomy. Engines wrap these sentinels with
+// chunk and device context; classify with errors.Is.
+var (
+	// ErrTransfer and ErrKernel are transient device faults (retried up
+	// to OutOfCoreOptions.ChunkRetries times per chunk).
+	ErrTransfer = faults.ErrTransfer
+	ErrKernel   = faults.ErrKernel
+	// ErrOOM marks an allocation that exceeded usable device memory.
+	ErrOOM = faults.ErrOOM
+	// ErrDeviceLost marks a permanently failed device.
+	ErrDeviceLost = faults.ErrDeviceLost
+	// ErrChunkAbandoned marks a chunk whose retry budget was exhausted
+	// with no recovery path left.
+	ErrChunkAbandoned = faults.ErrChunkAbandoned
+	// ErrDeadline marks a run aborted at RunOptions.DeadlineSec.
+	ErrDeadline = faults.ErrDeadline
 )
 
 // Matrix is a sparse matrix in compressed sparse row form.
