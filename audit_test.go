@@ -1,0 +1,137 @@
+package repro
+
+// Resource-leak audits: a run that is aborted — by deadline, device
+// loss, OOM pressure or abandonment — must not leak. Two resources
+// are audited: goroutines (the discrete-event kernel's processes are
+// real goroutines, so an abort path that forgets one blocks it
+// forever) and simulated device memory (the engines' host-side
+// teardown must return every live allocation, publishing the residue
+// as mem_in_use_bytes, which these tests pin to zero).
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/spgemm"
+)
+
+// settleGoroutines polls until the goroutine count drops to the
+// baseline or the settle window expires, and returns the final count.
+// Aborted sim runs unwind their process goroutines asynchronously, so
+// a single instantaneous read would race the cleanup.
+func settleGoroutines(baseline int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > baseline && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestAuditDeadlineNoLeaks aborts every registered engine with an
+// immediate deadline and asserts (a) the error is a clean ErrDeadline
+// (or nil for engines that legitimately finish or ignore deadlines),
+// (b) no device memory stays accounted after teardown, and (c) no
+// goroutine outlives its run.
+func TestAuditDeadlineNoLeaks(t *testing.T) {
+	a, _ := chaosMatrix(0)
+	cfg := spgemm.V100WithMemory(1 << 20)
+	// Engines whose run loops check the deadline; the rest (cpu-merge,
+	// cpu-outer, auto, summa on this tiny input) may finish first, but
+	// must never return any *other* error or leak.
+	mustDeadline := map[string]bool{
+		"cpu": true, "gpu": true, "gpu-sync": true, "hybrid": true, "multigpu": true,
+	}
+	baseline := runtime.NumGoroutine()
+	for _, name := range spgemm.Engines() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			eng, err := spgemm.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := spgemm.NewCollector()
+			_, _, err = eng.Run(a, a, &spgemm.RunOptions{
+				Device:      &cfg,
+				Core:        spgemm.OutOfCoreOptions{RowPanels: 4, ColPanels: 2},
+				NumGPUs:     2,
+				Metrics:     col,
+				DeadlineSec: 1e-9,
+			})
+			if err != nil && !errors.Is(err, spgemm.ErrDeadline) {
+				t.Fatalf("err = %v, want nil or ErrDeadline", err)
+			}
+			if mustDeadline[name] && err == nil {
+				t.Fatalf("engine ignored DeadlineSec=1e-9")
+			}
+			if leaked := col.Snapshot()[metrics.CounterMemInUse]; leaked != 0 {
+				t.Fatalf("device memory leaked after deadline abort: %d bytes", leaked)
+			}
+		})
+	}
+	if n := settleGoroutines(baseline); n > baseline {
+		t.Fatalf("goroutines leaked across deadline-aborted runs: baseline %d, now %d", baseline, n)
+	}
+}
+
+// TestAuditFaultAbortNoArenaLeak drives the abort paths the chaos
+// suite exercises for correctness — device loss, OOM pressure, retry
+// exhaustion — and audits them for resource leaks instead: whether
+// the run succeeds or fails, the accounted device memory must return
+// to zero and the goroutine count to its baseline.
+func TestAuditFaultAbortNoArenaLeak(t *testing.T) {
+	a, _ := chaosMatrix(0)
+	cfg := spgemm.V100WithMemory(1 << 20)
+	cases := []struct {
+		name    string
+		engine  string
+		faults  spgemm.FaultConfig
+		retries int
+		gpus    int
+	}{
+		{"gpu-device-lost", "gpu", spgemm.FaultConfig{Seed: 1, LossAfterOps: 20}, 0, 0},
+		{"gpu-oom-pressure", "gpu", spgemm.FaultConfig{Seed: 2, TransferRate: 0.02, OOMShrink: 0.3}, 10, 0},
+		{"gpu-oom-hard", "gpu", spgemm.FaultConfig{Seed: 3, OOMShrink: 0.9}, 0, 0},
+		{"gpu-retries-exhausted", "gpu", spgemm.FaultConfig{Seed: 4, TransferRate: 0.9, KernelRate: 0.9}, -1, 0},
+		{"hybrid-loss", "hybrid", spgemm.FaultConfig{Seed: 3, TransferRate: 0.02, LossAfterOps: 60}, 0, 0},
+		{"multigpu-loss", "multigpu", spgemm.FaultConfig{Seed: 5, LossAfterOps: 30}, 0, 2},
+	}
+	baseline := runtime.NumGoroutine()
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := spgemm.ByName(tc.engine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := spgemm.NewCollector()
+			_, _, err = eng.Run(a, a, &spgemm.RunOptions{
+				Device:       &cfg,
+				Core:         spgemm.OutOfCoreOptions{RowPanels: 4, ColPanels: 2},
+				Faults:       tc.faults,
+				ChunkRetries: tc.retries,
+				NumGPUs:      tc.gpus,
+				UseCPU:       tc.gpus > 0,
+				Metrics:      col,
+			})
+			// The error (if any) must be from the typed taxonomy; the
+			// audit itself is about what the abort left behind.
+			if err != nil &&
+				!errors.Is(err, spgemm.ErrDeviceLost) && !errors.Is(err, spgemm.ErrOOM) &&
+				!errors.Is(err, spgemm.ErrChunkAbandoned) && !errors.Is(err, spgemm.ErrDeadline) {
+				t.Fatalf("untyped abort error: %v", err)
+			}
+			if leaked := col.Snapshot()[metrics.CounterMemInUse]; leaked != 0 {
+				t.Fatalf("device memory leaked after abort (err=%v): %d bytes", err, leaked)
+			}
+		})
+	}
+	if n := settleGoroutines(baseline); n > baseline {
+		t.Fatalf("goroutines leaked across aborted runs: baseline %d, now %d", baseline, n)
+	}
+}

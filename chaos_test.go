@@ -69,20 +69,31 @@ type chaosScenario struct {
 	retries int
 }
 
+// chaosSeeds trims a scenario family's seed sweep in -short mode: CI's
+// default test job runs two seeds per family (every fault class still
+// covered), while the chaos-soak job runs the full sweep.
+func chaosSeeds(full int64) int64 {
+	if testing.Short() && full > 2 {
+		return 2
+	}
+	return full
+}
+
 // chaosScenarios builds the seed sweep: >= 50 scenarios spanning
-// transient faults, stragglers, OOM pressure and device loss.
+// transient faults, stragglers, OOM pressure and device loss (reduced
+// to two seeds per family under -short).
 func chaosScenarios() []chaosScenario {
 	var out []chaosScenario
 	// Transient transfer/kernel faults + stragglers on the GPU-only
 	// engines: a generous retry budget must absorb everything.
-	for seed := int64(1); seed <= 14; seed++ {
+	for seed := int64(1); seed <= chaosSeeds(14); seed++ {
 		out = append(out, chaosScenario{
 			engine:  "gpu",
 			cfg:     spgemm.FaultConfig{Seed: seed, TransferRate: 0.03, KernelRate: 0.02, StragglerRate: 0.05},
 			retries: 10,
 		})
 	}
-	for seed := int64(1); seed <= 8; seed++ {
+	for seed := int64(1); seed <= chaosSeeds(8); seed++ {
 		out = append(out, chaosScenario{
 			engine:  "gpu-sync",
 			cfg:     spgemm.FaultConfig{Seed: seed, TransferRate: 0.03, KernelRate: 0.02},
@@ -91,7 +102,7 @@ func chaosScenarios() []chaosScenario {
 	}
 	// Hybrid: higher rates with the default (small) budget, so some
 	// chunks are abandoned and must be absorbed by the CPU worker.
-	for seed := int64(1); seed <= 12; seed++ {
+	for seed := int64(1); seed <= chaosSeeds(12); seed++ {
 		out = append(out, chaosScenario{
 			engine: "hybrid",
 			cfg:    spgemm.FaultConfig{Seed: seed, TransferRate: 0.06, KernelRate: 0.04, StragglerRate: 0.05},
@@ -99,7 +110,7 @@ func chaosScenarios() []chaosScenario {
 	}
 	// Hybrid with mid-run device loss: every remaining GPU chunk must
 	// degrade to the CPU worker.
-	for seed := int64(1); seed <= 4; seed++ {
+	for seed := int64(1); seed <= chaosSeeds(4); seed++ {
 		out = append(out, chaosScenario{
 			engine: "hybrid",
 			cfg:    spgemm.FaultConfig{Seed: seed, TransferRate: 0.02, LossAfterOps: 60},
@@ -107,7 +118,7 @@ func chaosScenarios() []chaosScenario {
 	}
 	// Multi-GPU: transient faults redistribute chunks between devices
 	// and, past their budget, to the CPU worker.
-	for seed := int64(1); seed <= 10; seed++ {
+	for seed := int64(1); seed <= chaosSeeds(10); seed++ {
 		out = append(out, chaosScenario{
 			engine: "multigpu",
 			cfg:    spgemm.FaultConfig{Seed: seed, TransferRate: 0.06, KernelRate: 0.04},
@@ -116,7 +127,7 @@ func chaosScenarios() []chaosScenario {
 	}
 	// Multi-GPU with device loss: both devices eventually die and the
 	// CPU worker adopts everything left.
-	for seed := int64(1); seed <= 4; seed++ {
+	for seed := int64(1); seed <= chaosSeeds(4); seed++ {
 		out = append(out, chaosScenario{
 			engine: "multigpu",
 			cfg:    spgemm.FaultConfig{Seed: seed, TransferRate: 0.02, LossAfterOps: 80},
@@ -125,7 +136,7 @@ func chaosScenarios() []chaosScenario {
 	}
 	// OOM pressure: a shrunken arena must still fit the planned grid's
 	// working set or fail over, never panic.
-	for seed := int64(1); seed <= 2; seed++ {
+	for seed := int64(1); seed <= chaosSeeds(2); seed++ {
 		out = append(out, chaosScenario{
 			engine:  "gpu",
 			cfg:     spgemm.FaultConfig{Seed: seed, TransferRate: 0.02, OOMShrink: 0.3},
@@ -172,10 +183,11 @@ func runScenario(t *testing.T, i int, sc chaosScenario) {
 	_ = report
 }
 
-// TestChaosSoak runs the full seeded scenario sweep.
+// TestChaosSoak runs the seeded scenario sweep: the full >=50 matrix
+// normally, the trimmed per-family sample under -short.
 func TestChaosSoak(t *testing.T) {
 	scenarios := chaosScenarios()
-	if len(scenarios) < 50 {
+	if !testing.Short() && len(scenarios) < 50 {
 		t.Fatalf("only %d chaos scenarios; the soak promises at least 50", len(scenarios))
 	}
 	for i, sc := range scenarios {

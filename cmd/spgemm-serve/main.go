@@ -1,0 +1,266 @@
+// Command spgemm-serve is the overload-safe SpGEMM serving daemon: an
+// HTTP front end over the engine registry with admission control,
+// per-engine circuit breakers and graceful drain (internal/serve).
+//
+// Server mode (default):
+//
+//	spgemm-serve -addr :8097 -max-concurrent 4 -devmem 1048576 \
+//	    -faults seed=7,loseafter=60 -snapshot serve-snapshot.json
+//
+// SIGTERM or SIGINT starts the graceful drain: admission stops,
+// inflight jobs finish within -drain-timeout, and the final metrics
+// snapshot is written to -snapshot before the process exits.
+//
+// Drive mode turns the same binary into a load-generating client for
+// soak tests:
+//
+//	spgemm-serve -drive http://127.0.0.1:8097 -clients 8 -requests 25 \
+//	    -drive-engines hybrid,cpu,panicky -expect-shed -expect-breaker
+//
+// The drive run fails (exit 1) when an -expect-* assertion does not
+// hold in the server's final /metricsz snapshot.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/spgemm"
+)
+
+func main() {
+	addr := flag.String("addr", ":8097", "HTTP listen address (server mode)")
+	maxConc := flag.Int("max-concurrent", 2, "jobs running at once")
+	queueDepth := flag.Int("queue", 0, "admission queue depth (0 = 2*max-concurrent)")
+	maxFlops := flag.Int64("max-inflight-flops", 0, "inflight flop budget for admission (0 = unlimited)")
+	devmem := flag.Int64("devmem", 0, "simulated device memory in bytes (0 = full V100)")
+	faultSpec := flag.String("faults", "", "base fault spec for device engines, e.g. seed=7,rate=0.02,loseafter=60")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM")
+	snapshotPath := flag.String("snapshot", "serve-snapshot.json", "write the final metrics snapshot here on drain")
+	panicEvery := flag.Int64("chaos-panic-every", 0, "register a 'panicky' engine that panics every Nth call (0 = off)")
+	tripLost := flag.Int64("trip-devices-lost", 0, "breaker: cumulative lost devices to trip (0 = default)")
+	tripFailures := flag.Int("trip-failures", 0, "breaker: consecutive failures to trip (0 = default)")
+	cooldownJobs := flag.Int("cooldown-jobs", 0, "breaker: degraded jobs before a half-open probe (0 = default)")
+
+	driveURL := flag.String("drive", "", "drive mode: base URL of a running spgemm-serve to load-test")
+	clients := flag.Int("clients", 4, "drive mode: concurrent clients")
+	requests := flag.Int("requests", 20, "drive mode: requests per client")
+	driveEngines := flag.String("drive-engines", "cpu", "drive mode: comma-separated engines to request round-robin")
+	expectShed := flag.Bool("expect-shed", false, "drive mode: fail unless the server shed load")
+	expectBreaker := flag.Bool("expect-breaker", false, "drive mode: fail unless a breaker tripped and jobs degraded")
+	flag.Parse()
+
+	if *driveURL != "" {
+		if err := drive(*driveURL, *clients, *requests,
+			strings.Split(*driveEngines, ","), *expectShed, *expectBreaker); err != nil {
+			log.Fatal("spgemm-serve: drive: ", err)
+		}
+		return
+	}
+
+	if *panicEvery > 0 {
+		registerPanicky(*panicEvery)
+	}
+	base := spgemm.RunOptions{}
+	if *devmem > 0 {
+		cfg := spgemm.V100WithMemory(*devmem)
+		base.Device = &cfg
+	}
+	if *faultSpec != "" {
+		fc, err := spgemm.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			log.Fatal("spgemm-serve: ", err)
+		}
+		base.Faults = fc
+	}
+	srv := serve.New(serve.Config{
+		MaxConcurrent:    *maxConc,
+		QueueDepth:       *queueDepth,
+		MaxInflightFlops: *maxFlops,
+		Base:             base,
+		DrainTimeout:     *drainTimeout,
+		Breaker: serve.BreakerConfig{
+			TripDevicesLost: *tripLost,
+			TripFailures:    *tripFailures,
+			CooldownJobs:    *cooldownJobs,
+		},
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal("spgemm-serve: ", err)
+		}
+	}()
+	log.Printf("spgemm-serve: listening on %s (engines: %s)", *addr, strings.Join(spgemm.Engines(), ", "))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	got := <-sig
+	log.Printf("spgemm-serve: %v: draining (deadline %v)", got, *drainTimeout)
+
+	snap := srv.Drain(*drainTimeout)
+	if err := writeSnapshot(*snapshotPath, snap); err != nil {
+		log.Fatal("spgemm-serve: ", err)
+	}
+	log.Printf("spgemm-serve: drained; snapshot written to %s (%d jobs completed, %d shed)",
+		*snapshotPath, snap[metrics.CounterServeCompleted],
+		snap[metrics.CounterServeRejectedOverload]+snap[metrics.CounterServeRejectedQueue])
+	if err := httpSrv.Close(); err != nil {
+		log.Fatal("spgemm-serve: ", err)
+	}
+}
+
+func writeSnapshot(path string, snap map[string]int64) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// panickyEngine delegates to the cpu engine but panics every Nth call:
+// the chaos source for the serve-soak's panic-isolation check.
+type panickyEngine struct {
+	every int64
+	calls *int64
+}
+
+func (e panickyEngine) Name() string     { return "panicky" }
+func (e panickyEngine) Describe() string { return "cpu engine that panics every Nth call (chaos)" }
+func (e panickyEngine) Run(a, b *spgemm.Matrix, opts *spgemm.RunOptions) (*spgemm.Matrix, spgemm.Report, error) {
+	if n := atomic.AddInt64(e.calls, 1); n%e.every == 0 {
+		panic(fmt.Sprintf("panicky engine: injected panic on call %d", n))
+	}
+	cpu, err := spgemm.ByName("cpu")
+	if err != nil {
+		return nil, nil, err
+	}
+	return cpu.Run(a, b, opts)
+}
+
+func registerPanicky(every int64) {
+	spgemm.Register(panickyEngine{every: every, calls: new(int64)})
+}
+
+// drive load-tests a running server: clients*requests multiply posts
+// round-robin over the requested engines, then assertions against the
+// final /metricsz snapshot.
+func drive(baseURL string, clients, requests int, engines []string, expectShed, expectBreaker bool) error {
+	client := &http.Client{Timeout: 120 * time.Second}
+	if err := waitHealthy(client, baseURL, 30*time.Second); err != nil {
+		return err
+	}
+
+	var (
+		mu       sync.Mutex
+		statuses = map[int]int{}
+		degraded int
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < requests; r++ {
+				engine := engines[(c*requests+r)%len(engines)]
+				req := serve.MultiplyRequest{
+					Engine: strings.TrimSpace(engine),
+					A: serve.MatrixSpec{
+						Kind: "rmat", Scale: 7, EdgeFactor: 8,
+						Seed: int64(100 + c*requests + r),
+					},
+				}
+				body, _ := json.Marshal(req)
+				resp, err := client.Post(baseURL+"/v1/multiply", "application/json", bytes.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					statuses[-1]++
+					mu.Unlock()
+					continue
+				}
+				var mr serve.MultiplyResponse
+				_ = json.NewDecoder(resp.Body).Decode(&mr)
+				resp.Body.Close()
+				mu.Lock()
+				statuses[resp.StatusCode]++
+				if mr.Degraded {
+					degraded++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	snap := map[string]int64{}
+	resp, err := client.Get(baseURL + "/metricsz")
+	if err != nil {
+		return fmt.Errorf("metricsz: %w", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("metricsz: %w", err)
+	}
+
+	fmt.Printf("drive: %d clients x %d requests, statuses %v, degraded responses %d\n",
+		clients, requests, statuses, degraded)
+	fmt.Printf("drive: server counters: completed=%d failed=%d panicked=%d shed(overload)=%d shed(queue)=%d degraded=%d trips=%d\n",
+		snap[metrics.CounterServeCompleted], snap[metrics.CounterServeFailed],
+		snap[metrics.CounterServePanicked], snap[metrics.CounterServeRejectedOverload],
+		snap[metrics.CounterServeRejectedQueue], snap[metrics.CounterServeDegraded],
+		snap[metrics.CounterServeBreakerTrips])
+
+	if snap[metrics.CounterServeCompleted] == 0 {
+		return fmt.Errorf("no job completed")
+	}
+	if expectShed {
+		if shed := snap[metrics.CounterServeRejectedOverload] + snap[metrics.CounterServeRejectedQueue]; shed == 0 {
+			return fmt.Errorf("expected load shedding, server shed nothing")
+		}
+	}
+	if expectBreaker {
+		if snap[metrics.CounterServeBreakerTrips] == 0 {
+			return fmt.Errorf("expected a breaker trip, none happened")
+		}
+		if snap[metrics.CounterServeDegraded] == 0 {
+			return fmt.Errorf("breaker tripped but no job degraded to the fallback engine")
+		}
+	}
+	return nil
+}
+
+func waitHealthy(client *http.Client, baseURL string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(baseURL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %v: %v", baseURL, timeout, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

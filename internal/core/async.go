@@ -53,12 +53,14 @@ func (e *Engine) processAsync(p *sim.Proc, ids []int) []int {
 	// through ProcessChunks again, reusing the resident arena.
 	arena := dev.UsableBytes()
 	if !e.arenaAllocated {
-		if _, err := dev.Malloc(p, "arena", arena); err != nil {
+		a, err := dev.Malloc(p, "arena", arena)
+		if err != nil {
 			for _, id := range ids {
 				fail(id, err)
 			}
 			return failedIDs
 		}
+		e.trackAlloc(a)
 		e.arenaAllocated = true
 	}
 	var arenaUsed int64

@@ -46,6 +46,7 @@ func (c *inputCache) ensure(p *sim.Proc, id int, key, label string, bytes int64,
 			a, err := c.e.Dev.Malloc(p, label, bytes)
 			if err == nil {
 				ent.alloc = a
+				c.e.trackAlloc(a)
 				break
 			}
 			if !errors.Is(err, faults.ErrOOM) {
@@ -67,6 +68,7 @@ func (c *inputCache) ensure(p *sim.Proc, id int, key, label string, bytes int64,
 		return c.e.Dev.TransferH2D(p, label, bytes)
 	}); err != nil {
 		if ent.alloc != nil {
+			c.e.untrackAlloc(ent.alloc)
 			if ferr := c.e.Dev.Free(p, ent.alloc); ferr != nil {
 				c.e.fail(ferr)
 			}
@@ -92,6 +94,7 @@ func (c *inputCache) evictOne(p *sim.Proc, pinned ...string) bool {
 		delete(c.entries, key)
 		c.bytes -= ent.bytes
 		if ent.alloc != nil {
+			c.e.untrackAlloc(ent.alloc)
 			if err := c.e.Dev.Free(p, ent.alloc); err != nil {
 				// A failing Free is a lifetime bug; record it terminally.
 				c.e.fail(err)

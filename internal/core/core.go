@@ -214,6 +214,10 @@ type Engine struct {
 	// arenaAllocated notes that the one-time device arena Malloc has
 	// happened; failover re-entries of ProcessChunks reuse it.
 	arenaAllocated bool
+	// live tracks device allocations still resident (the arena and,
+	// in dynamic mode, cached input panels) so Teardown can release
+	// their accounting when the run ends on any path.
+	live map[*gpusim.Alloc]struct{}
 
 	rows, cols int // dimensions of C
 }
@@ -252,9 +256,37 @@ func NewEngine(dev *gpusim.Device, a, b *csr.Matrix, opts Options) (*Engine, err
 		Results:   map[int]*speck.Result{},
 		failed:    map[int]error{},
 		retries:   map[int]int{},
+		live:      map[*gpusim.Alloc]struct{}{},
 		rows:      a.Rows,
 		cols:      b.Cols,
 	}, nil
+}
+
+// trackAlloc and untrackAlloc maintain the live-allocation set behind
+// Teardown's end-of-run release.
+func (e *Engine) trackAlloc(a *gpusim.Alloc)   { e.live[a] = struct{}{} }
+func (e *Engine) untrackAlloc(a *gpusim.Alloc) { delete(e.live, a) }
+
+// Teardown releases the engine's remaining device allocations from
+// the host after the simulation has drained (accounting only — the
+// simulated context is gone) and returns the device memory still
+// accounted afterwards. Anything nonzero is a leak: an allocation the
+// engine lost track of on some exit path. Callers publish the result
+// as the mem_in_use_bytes counter, which the arena-leak audit pins to
+// zero even for deadline-aborted runs.
+func (e *Engine) Teardown() int64 {
+	for a := range e.live {
+		// Double frees were already reported at the Free site; the
+		// teardown's job is only to return what is still held.
+		_ = e.Dev.FreeAccounting(a)
+	}
+	e.live = map[*gpusim.Alloc]struct{}{}
+	e.arenaAllocated = false
+	leaked := e.Dev.MemUsed()
+	if m := e.Opts.Metrics; m != nil {
+		m.Add(metrics.CounterMemInUse, leaked)
+	}
+	return leaked
 }
 
 // NumChunks returns the chunk count of the grid.
@@ -394,6 +426,10 @@ func RunTraced(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Ma
 	if err != nil {
 		return nil, Stats{}, nil, err
 	}
+	// End-of-run teardown on every exit path (success, deadline,
+	// abandonment): release remaining device allocations and publish
+	// the leak audit counter.
+	defer eng.Teardown()
 	env.Spawn("gpu", func(p *sim.Proc) {
 		eng.ProcessChunks(p, eng.ScheduleOrder())
 	})

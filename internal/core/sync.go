@@ -43,12 +43,14 @@ func (e *Engine) processSync(p *sim.Proc, ids []int) []int {
 	if !e.Opts.DynamicAlloc {
 		arena = dev.UsableBytes()
 		if !e.arenaAllocated {
-			if _, err := dev.Malloc(p, "arena", arena); err != nil {
+			a, err := dev.Malloc(p, "arena", arena)
+			if err != nil {
 				for _, id := range ids {
 					fail(id, err)
 				}
 				return failedIDs
 			}
+			e.trackAlloc(a)
 			e.arenaAllocated = true
 		}
 	}

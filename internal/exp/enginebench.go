@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/csr"
 	"repro/internal/matgen"
+	"repro/internal/metrics"
+	"repro/internal/serve"
 	"repro/spgemm"
 )
 
@@ -15,7 +17,10 @@ import (
 // wall-clock for the real-CPU engines, simulated for the device ones —
 // and Snapshot is the metrics collector's flat key/value dump
 // (counters plus per-lane busy times and makespans), so figure runners
-// and CI trend checks read one schema for every engine.
+// and CI trend checks read one schema for every engine. Recovery and
+// Serving pin their counter families with explicit zeros — a CI trend
+// check can assert "no recovery activity on the clean bench" without
+// guessing whether a missing key means zero or means unrecorded.
 type EngineBenchReport struct {
 	Engine    string           `json:"engine"`
 	Describe  string           `json:"describe"`
@@ -28,26 +33,59 @@ type EngineBenchReport struct {
 	GFLOPS    float64          `json:"gflops"`
 	OutputNnz int64            `json:"output_nnz"`
 	Snapshot  map[string]int64 `json:"snapshot"`
+	// Recovery is the run's recovery_* counter family; Serving is the
+	// serving layer's snapshot for the bench job (the run goes through
+	// an in-process serve.Server, so admission and completion counters
+	// are exercised on every bench).
+	Recovery map[string]int64 `json:"recovery"`
+	Serving  map[string]int64 `json:"serving"`
+}
+
+// recoveryKeys and servingKeys pin the counter families reported with
+// explicit zeros in every BENCH_<name>.json.
+var recoveryKeys = []string{
+	metrics.CounterRetries, metrics.CounterAbandoned, metrics.CounterFallbacks,
+	metrics.CounterFailovers, metrics.CounterDevicesLost, metrics.CounterMemInUse,
+}
+
+var servingKeys = []string{
+	metrics.CounterServeAccepted, metrics.CounterServeRejectedOverload,
+	metrics.CounterServeRejectedQueue, metrics.CounterServeRejectedDraining,
+	metrics.CounterServeCompleted, metrics.CounterServeFailed,
+	metrics.CounterServePanicked, metrics.CounterServeAbandoned,
+	metrics.CounterServeDegraded, metrics.CounterServeBreakerTrips,
+	metrics.CounterServeBreakerProbes, metrics.CounterServeBreakerCloses,
+}
+
+func pinKeys(keys []string, src map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(keys))
+	for _, k := range keys {
+		out[k] = src[k]
+	}
+	return out
 }
 
 // EngineBench runs one registered engine on the skewed R-MAT benchmark
 // matrix (the CPU bench generator, so numbers line up across engines)
-// with a metrics collector attached. When traceOut is non-nil the
-// collector's Chrome trace is written there. It returns the printable
-// table and the JSON report for BENCH_<name>.json.
+// with a metrics collector attached. The run is submitted through an
+// in-process serve.Server so the report also captures the serving
+// layer's counters. When traceOut is non-nil the collector's Chrome
+// trace is written there. It returns the printable table and the JSON
+// report for BENCH_<name>.json.
 func EngineBench(name string, traceOut io.Writer) (*Table, *EngineBenchReport, error) {
-	eng, err := spgemm.ByName(name)
-	if err != nil {
+	if _, err := spgemm.ByName(name); err != nil {
 		return nil, nil, err
 	}
 	a := matgen.RMAT(12, 16, 0.6, 0.19, 0.19, 7)
 
 	m := spgemm.NewCollector()
-	opts := &spgemm.RunOptions{Metrics: m}
-	c, report, err := eng.Run(a, a, opts)
+	srv := serve.New(serve.Config{MaxConcurrent: 1})
+	res, err := srv.Submit(serve.Job{Engine: name, A: a, B: a, Opts: &spgemm.RunOptions{Metrics: m}})
+	serving := srv.Drain(0)
 	if err != nil {
 		return nil, nil, fmt.Errorf("engine %s: %w", name, err)
 	}
+	c, report := res.C, res.Report
 	if got := c.Nnz(); got != report.OutputNnz() {
 		return nil, nil, fmt.Errorf("engine %s: report nnz %d != product nnz %d", name, report.OutputNnz(), got)
 	}
@@ -64,6 +102,8 @@ func EngineBench(name string, traceOut io.Writer) (*Table, *EngineBenchReport, e
 		GFLOPS:    report.Throughput(),
 		OutputNnz: report.OutputNnz(),
 		Snapshot:  m.Snapshot(),
+		Recovery:  pinKeys(recoveryKeys, res.Snapshot),
+		Serving:   pinKeys(servingKeys, serving),
 	}
 	t := &Table{
 		Title:  fmt.Sprintf("Engine %s: %s", name, rep.Matrix),

@@ -54,11 +54,80 @@ var (
 	ErrChunkAbandoned = errors.New("chunk abandoned after retries")
 	// ErrDeadline marks a run that exceeded its deadline.
 	ErrDeadline = errors.New("deadline exceeded")
+	// ErrOverloaded is the serving layer's load-shed rejection: the
+	// job was never admitted because running it would exceed the
+	// server's capacity. Retry later (serve.OverloadError carries the
+	// retry-after hint) or against another replica.
+	ErrOverloaded = errors.New("server overloaded")
+	// ErrQueueFull is the serving layer's admission-queue rejection:
+	// the bounded queue had no slot. Like ErrOverloaded it means the
+	// job never ran.
+	ErrQueueFull = errors.New("admission queue full")
+	// ErrJobPanic marks a job whose engine panicked; the serving layer
+	// converts the panic into this typed error so one crashed job
+	// cannot take the server down.
+	ErrJobPanic = errors.New("job panicked")
 )
 
 // Transient reports whether err is a retryable per-operation fault.
 func Transient(err error) bool {
 	return errors.Is(err, ErrTransfer) || errors.Is(err, ErrKernel)
+}
+
+// Shedding reports whether err is a pre-admission rejection
+// (ErrOverloaded or ErrQueueFull): the job never started, so the
+// caller may safely retry it — later, or on another server.
+func Shedding(err error) bool {
+	return errors.Is(err, ErrOverloaded) || errors.Is(err, ErrQueueFull)
+}
+
+// RecoverySignal is one run's recovery activity in the form a serving
+// circuit breaker consumes: the recovery_* counters the engines
+// publish, plus the run's terminal error. A breaker accumulates
+// signals per engine and trips when they cross its thresholds.
+type RecoverySignal struct {
+	// Retries, Abandoned, Failovers and DevicesLost mirror the
+	// metrics counters of the same names.
+	Retries, Abandoned, Failovers, DevicesLost int64
+	// Err is the run's terminal error (nil on success — a run that
+	// recovered internally still reports its counters above).
+	Err error
+}
+
+// SignalFromCounters extracts a RecoverySignal from a flat counter
+// snapshot (Collector.Snapshot or Report.Counters output). Lost
+// devices are visible through two counters that may disagree:
+// "recovery_devices_lost" (engines with a failover path, e.g.
+// multigpu) and "faults_injected_lost" (every injector, including
+// engines like hybrid that absorb the loss via CPU fallback without a
+// failover counter). The signal takes the larger so a loss is never
+// invisible to a breaker, and never double-counted.
+func SignalFromCounters(c map[string]int64, err error) RecoverySignal {
+	lost := c["recovery_devices_lost"]
+	if v := c["faults_injected_lost"]; v > lost {
+		lost = v
+	}
+	return RecoverySignal{
+		Retries:     c["recovery_retries"],
+		Abandoned:   c["recovery_abandoned"],
+		Failovers:   c["recovery_failovers"],
+		DevicesLost: lost,
+		Err:         err,
+	}
+}
+
+// Failed reports whether the run ended with an engine failure a
+// breaker should count. Pre-admission shedding and deadline aborts are
+// excluded: they say nothing about the engine's health.
+func (s RecoverySignal) Failed() bool {
+	return s.Err != nil && !Shedding(s.Err) && !errors.Is(s.Err, ErrDeadline)
+}
+
+// Healthy reports whether the run completed without any recovery
+// activity at all — the condition a half-open breaker probe requires
+// to close the circuit.
+func (s RecoverySignal) Healthy() bool {
+	return s.Err == nil && s.DevicesLost == 0 && s.Abandoned == 0 && s.Failovers == 0
 }
 
 // Config describes one device's fault behaviour. The zero value is

@@ -290,6 +290,22 @@ func (d *Device) Free(p *sim.Proc, a *Alloc) error {
 	return nil
 }
 
+// FreeAccounting releases an allocation's memory accounting without a
+// device call: no barrier, no virtual time, callable after the
+// simulation has drained. It models destroying the device context at
+// end of run — the engines use it to tear down allocations still
+// resident when a run ends (normally or by deadline/abandonment), so
+// end-of-run memory audits see zero bytes in use. Double frees are
+// reported like Free.
+func (d *Device) FreeAccounting(a *Alloc) error {
+	if a.freed {
+		return fmt.Errorf("gpusim: double free of %d-byte allocation", a.Bytes)
+	}
+	a.freed = true
+	d.memUsed -= a.Bytes
+	return nil
+}
+
 // barrier acquires every engine in a fixed order, holds them for the
 // allocation latency, and releases them: nothing overlaps a malloc.
 func (d *Device) barrier(p *sim.Proc, label string) {

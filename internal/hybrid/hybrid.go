@@ -198,6 +198,9 @@ func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, 
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	// Release device allocations and publish the leak-audit counter on
+	// every exit path, including deadline aborts.
+	defer eng.Teardown()
 
 	flops := eng.ChunkFlops()
 	var gpuIDs, cpuIDs []int

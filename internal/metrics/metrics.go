@@ -246,6 +246,32 @@ const (
 	CounterFallbacks   = "recovery_fallbacks"
 	CounterFailovers   = "recovery_failovers"
 	CounterDevicesLost = "recovery_devices_lost"
+
+	// CounterMemInUse is the device memory still accounted at the end
+	// of a run, after host-side teardown — nonzero means an allocation
+	// leaked (the arena-leak audit asserts it is zero even for
+	// deadline-aborted runs).
+	CounterMemInUse = "mem_in_use_bytes"
+
+	// Serving counters, published by internal/serve. Accepted counts
+	// admissions; the rejected_* family counts load shedding before a
+	// job ran (overload budget, bounded queue, drain); completed /
+	// failed / panicked partition finished jobs; abandoned counts jobs
+	// dropped at the drain deadline; degraded counts jobs routed to
+	// the fallback engine by an open breaker; the breaker_* family
+	// counts circuit state transitions.
+	CounterServeAccepted         = "serve_jobs_accepted"
+	CounterServeRejectedOverload = "serve_jobs_rejected_overload"
+	CounterServeRejectedQueue    = "serve_jobs_rejected_queue_full"
+	CounterServeRejectedDraining = "serve_jobs_rejected_draining"
+	CounterServeCompleted        = "serve_jobs_completed"
+	CounterServeFailed           = "serve_jobs_failed"
+	CounterServePanicked         = "serve_jobs_panicked"
+	CounterServeAbandoned        = "serve_jobs_abandoned"
+	CounterServeDegraded         = "serve_jobs_degraded"
+	CounterServeBreakerTrips     = "serve_breaker_trips"
+	CounterServeBreakerProbes    = "serve_breaker_probes"
+	CounterServeBreakerCloses    = "serve_breaker_closes"
 )
 
 // Snapshot flattens the collector into sorted key/value pairs: every

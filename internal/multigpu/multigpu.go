@@ -258,6 +258,9 @@ func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, 
 			return nil, Stats{}, err
 		}
 		engines[g] = eng
+		// Release each device's allocations and publish the leak-audit
+		// counter on every exit path, including deadline aborts.
+		defer eng.Teardown()
 	}
 	flops := engines[0].ChunkFlops()
 	var totalFlops int64

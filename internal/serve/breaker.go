@@ -1,0 +1,141 @@
+package serve
+
+import "repro/internal/faults"
+
+// BreakerConfig tunes the per-engine circuit breakers. Cooldown is
+// measured in jobs rather than wall time so breaker behaviour is
+// deterministic under test: the same job sequence always produces the
+// same state transitions.
+type BreakerConfig struct {
+	// TripFailures trips the breaker after that many consecutive
+	// failed runs (0 means 3, negative disables the criterion).
+	TripFailures int
+	// TripDevicesLost trips on that many cumulative lost devices since
+	// the circuit last closed (0 means 2, negative disables).
+	TripDevicesLost int64
+	// TripRetries trips on that many cumulative transient-fault
+	// retries since the circuit last closed (0 means 64, negative
+	// disables).
+	TripRetries int64
+	// CooldownJobs is how many jobs are degraded to the fallback
+	// engine before an open breaker lets one half-open probe through
+	// (0 means 4).
+	CooldownJobs int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.TripFailures == 0 {
+		c.TripFailures = 3
+	}
+	if c.TripDevicesLost == 0 {
+		c.TripDevicesLost = 2
+	}
+	if c.TripRetries == 0 {
+		c.TripRetries = 64
+	}
+	if c.CooldownJobs <= 0 {
+		c.CooldownJobs = 4
+	}
+	return c
+}
+
+// breaker is one engine's circuit: closed (jobs run on the engine),
+// open (jobs degrade to the fallback engine), half-open (one probe job
+// runs on the engine once the cooldown is spent). All methods are
+// called under the server mutex.
+type breaker struct {
+	cfg  BreakerConfig
+	open bool
+	// consecFails, devicesLost and retries accumulate while closed and
+	// reset when the circuit closes again.
+	consecFails int
+	devicesLost int64
+	retries     int64
+	// cooldown counts degraded jobs remaining before a probe; probing
+	// marks a half-open probe in flight (at most one at a time).
+	cooldown int
+	probing  bool
+}
+
+func newBreaker(cfg BreakerConfig) *breaker { return &breaker{cfg: cfg} }
+
+// route decides where the next job for this engine goes: the fallback
+// engine (fallback), or the engine itself — either normally or as the
+// half-open probe (probe).
+func (b *breaker) route() (fallback, probe bool) {
+	if !b.open {
+		return false, false
+	}
+	if !b.probing && b.cooldown <= 0 {
+		return false, true
+	}
+	return true, false
+}
+
+// committed applies the state changes of an accepted admission (route
+// decisions must not mutate state: the admission can still be rejected
+// by the flop budget or the bounded queue).
+func (b *breaker) committed(degraded, probe bool) {
+	if probe {
+		b.probing = true
+	}
+	if degraded && b.cooldown > 0 {
+		b.cooldown--
+	}
+}
+
+// record consumes one finished run's recovery signal and reports the
+// resulting transition, if any. Probe outcomes close or re-open the
+// circuit; closed-circuit outcomes accumulate toward a trip.
+func (b *breaker) record(sig faults.RecoverySignal, probe bool) (tripped, closed bool) {
+	if probe {
+		b.probing = false
+		if sig.Healthy() {
+			*b = breaker{cfg: b.cfg}
+			return false, true
+		}
+		b.cooldown = b.cfg.CooldownJobs
+		return false, false
+	}
+	if b.open {
+		return false, false
+	}
+	b.devicesLost += sig.DevicesLost
+	b.retries += sig.Retries
+	if sig.Failed() {
+		b.consecFails++
+	} else if sig.Err == nil {
+		b.consecFails = 0
+	}
+	if b.shouldTrip() {
+		b.open = true
+		b.cooldown = b.cfg.CooldownJobs
+		return true, false
+	}
+	return false, false
+}
+
+func (b *breaker) shouldTrip() bool {
+	if b.cfg.TripFailures > 0 && b.consecFails >= b.cfg.TripFailures {
+		return true
+	}
+	if b.cfg.TripDevicesLost > 0 && b.devicesLost >= b.cfg.TripDevicesLost {
+		return true
+	}
+	if b.cfg.TripRetries > 0 && b.retries >= b.cfg.TripRetries {
+		return true
+	}
+	return false
+}
+
+// state renders the circuit for /readyz and BreakerStates.
+func (b *breaker) state() string {
+	switch {
+	case !b.open:
+		return "closed"
+	case b.probing:
+		return "half-open"
+	default:
+		return "open"
+	}
+}

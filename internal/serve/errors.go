@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// OverloadError is the admission controller's load-shed rejection: the
+// job's estimated flop cost on top of the work already admitted would
+// exceed the server's inflight budget. It wraps faults.ErrOverloaded
+// so errors.Is classification survives any further wrapping, and
+// carries a retry-after hint sized from the backlog.
+type OverloadError struct {
+	// RetryAfter estimates when enough inflight work will have drained
+	// for the job to fit (backlog flops over the configured drain
+	// rate). It is a hint, not a promise.
+	RetryAfter time.Duration
+	// InflightFlops, JobFlops and BudgetFlops document the rejection:
+	// inflight + job exceeded budget.
+	InflightFlops, JobFlops, BudgetFlops int64
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: %v: %d inflight + %d job flops exceed budget %d (retry in %v)",
+		faults.ErrOverloaded, e.InflightFlops, e.JobFlops, e.BudgetFlops, e.RetryAfter)
+}
+
+func (e *OverloadError) Unwrap() error { return faults.ErrOverloaded }
+
+// QueueFullError is the bounded-queue rejection: every worker is busy
+// and the admission queue has no free slot. It wraps
+// faults.ErrQueueFull.
+type QueueFullError struct {
+	// Depth is the queue's capacity.
+	Depth int
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("serve: %v (depth %d)", faults.ErrQueueFull, e.Depth)
+}
+
+func (e *QueueFullError) Unwrap() error { return faults.ErrQueueFull }
+
+// DrainingError rejects jobs submitted after Drain began: the server
+// is shutting down and admits nothing. It wraps faults.ErrOverloaded
+// (the job never ran; another replica may take it).
+type DrainingError struct{}
+
+func (e *DrainingError) Error() string {
+	return fmt.Sprintf("serve: draining, not admitting jobs: %v", faults.ErrOverloaded)
+}
+
+func (e *DrainingError) Unwrap() error { return faults.ErrOverloaded }
+
+// PanicError converts an engine panic into a typed per-job error so
+// one crashed job cannot take the server down. It wraps
+// faults.ErrJobPanic.
+type PanicError struct {
+	// Engine is the engine that panicked; Value is the recovered panic
+	// value.
+	Engine string
+	Value  any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("serve: engine %q: %v: %v", e.Engine, faults.ErrJobPanic, e.Value)
+}
+
+func (e *PanicError) Unwrap() error { return faults.ErrJobPanic }
+
+// RetryAfter extracts the retry-after hint from a shedding error
+// chain (ok is false when err carries none).
+func RetryAfter(err error) (d time.Duration, ok bool) {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter, true
+	}
+	return 0, false
+}

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/faults"
+	"repro/spgemm"
+)
+
+// MatrixSpec describes a generated operand for the HTTP API, so
+// clients submit matrix *recipes* instead of shipping coordinate data.
+// Kind selects the generator: "rmat" (Scale, EdgeFactor), "er" (Rows,
+// Cols, Density), "band" (N, Half). Seed feeds all of them.
+type MatrixSpec struct {
+	Kind       string  `json:"kind"`
+	Scale      uint    `json:"scale,omitempty"`
+	EdgeFactor int     `json:"edge_factor,omitempty"`
+	Rows       int     `json:"rows,omitempty"`
+	Cols       int     `json:"cols,omitempty"`
+	Density    float64 `json:"density,omitempty"`
+	N          int     `json:"n,omitempty"`
+	Half       int     `json:"half,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+}
+
+// maxGenDim caps generated matrix dimensions so a single request
+// cannot ask the server to materialize an absurd operand: generation
+// happens before admission control can weigh the job.
+const maxGenDim = 1 << 22
+
+// Build materializes the spec.
+func (m MatrixSpec) Build() (*spgemm.Matrix, error) {
+	switch m.Kind {
+	case "rmat":
+		scale := m.Scale
+		if scale == 0 {
+			scale = 10
+		}
+		if scale > 22 {
+			return nil, fmt.Errorf("serve: rmat scale %d too large (max 22)", scale)
+		}
+		ef := m.EdgeFactor
+		if ef <= 0 {
+			ef = 8
+		}
+		return spgemm.RMAT(scale, ef, 0.57, 0.19, 0.19, m.Seed), nil
+	case "er":
+		rows, cols := m.Rows, m.Cols
+		if rows <= 0 {
+			rows = 1024
+		}
+		if cols <= 0 {
+			cols = rows
+		}
+		if rows > maxGenDim || cols > maxGenDim {
+			return nil, fmt.Errorf("serve: er dimensions %dx%d too large (max %d)", rows, cols, maxGenDim)
+		}
+		p := m.Density
+		if p <= 0 {
+			p = 0.01
+		}
+		return spgemm.ER(rows, cols, p, m.Seed), nil
+	case "band":
+		n, half := m.N, m.Half
+		if n <= 0 {
+			n = 1024
+		}
+		if n > maxGenDim {
+			return nil, fmt.Errorf("serve: band n %d too large (max %d)", n, maxGenDim)
+		}
+		if half <= 0 {
+			half = 8
+		}
+		return spgemm.Band(n, half, m.Seed), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown matrix kind %q (want rmat, er or band)", m.Kind)
+	}
+}
+
+// MultiplyRequest is the POST /v1/multiply body. B defaults to the
+// same matrix as A (the common A·A graph workload).
+type MultiplyRequest struct {
+	Engine      string      `json:"engine"`
+	A           MatrixSpec  `json:"a"`
+	B           *MatrixSpec `json:"b,omitempty"`
+	DeadlineSec float64     `json:"deadline_sec,omitempty"`
+	Threads     int         `json:"threads,omitempty"`
+	NumGPUs     int         `json:"num_gpus,omitempty"`
+}
+
+// MultiplyResponse reports a completed job.
+type MultiplyResponse struct {
+	Requested string  `json:"requested"`
+	Engine    string  `json:"engine"`
+	Degraded  bool    `json:"degraded"`
+	Rows      int     `json:"rows"`
+	Cols      int     `json:"cols"`
+	NnzC      int64   `json:"nnz_c"`
+	Flops     int64   `json:"flops"`
+	Seconds   float64 `json:"seconds"`
+	GFLOPS    float64 `json:"gflops"`
+}
+
+type errorResponse struct {
+	Error         string  `json:"error"`
+	RetryAfterSec float64 `json:"retry_after_sec,omitempty"`
+}
+
+// Handler returns the server's HTTP surface:
+//
+//	GET  /healthz     — liveness (200 while the process serves)
+//	GET  /readyz      — readiness (503 once draining) + breaker states
+//	GET  /metricsz    — the flat metrics snapshot as JSON
+//	POST /v1/multiply — submit a job (429 + Retry-After when shed)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metricsz", s.handleMetricsz)
+	mux.HandleFunc("/v1/multiply", s.handleMultiply)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	jobs, flops := s.Inflight()
+	body := map[string]any{
+		"draining":       s.Draining(),
+		"inflight_jobs":  jobs,
+		"inflight_flops": flops,
+		"breakers":       s.BreakerStates(),
+	}
+	status := http.StatusOK
+	if s.Draining() {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req MultiplyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	a, err := req.A.Build()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	b := a
+	if req.B != nil {
+		if b, err = req.B.Build(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+	}
+	opts := &spgemm.RunOptions{
+		DeadlineSec: req.DeadlineSec,
+		Threads:     req.Threads,
+		NumGPUs:     req.NumGPUs,
+	}
+	res, err := s.Submit(Job{Engine: req.Engine, A: a, B: b, Opts: opts})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := MultiplyResponse{
+		Requested: res.Requested, Engine: res.Engine, Degraded: res.Degraded,
+		Rows: res.C.Rows, Cols: res.C.Cols, NnzC: res.C.Nnz(),
+		Flops: res.Cost.Flops,
+	}
+	if res.Report != nil {
+		resp.Seconds = res.Report.Seconds()
+		resp.GFLOPS = res.Report.Throughput()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeError maps the serving error taxonomy onto HTTP statuses:
+// shedding is 429/503 with a Retry-After hint, a panic is a 500 for
+// that job only, a deadline is 504, an up-front OOM rejection is 413.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	resp := errorResponse{Error: err.Error()}
+	var status int
+	var de *DrainingError
+	switch {
+	case errors.As(err, &de):
+		status = http.StatusServiceUnavailable
+	case faults.Shedding(err):
+		status = http.StatusTooManyRequests
+		retry := time.Second
+		if d, ok := RetryAfter(err); ok {
+			retry = d
+		}
+		resp.RetryAfterSec = retry.Seconds()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int64(math.Ceil(retry.Seconds()))))
+	case errors.Is(err, faults.ErrJobPanic):
+		status = http.StatusInternalServerError
+	case errors.Is(err, faults.ErrDeadline):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, faults.ErrOOM):
+		status = http.StatusRequestEntityTooLarge
+	default:
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, resp)
+}

@@ -134,7 +134,11 @@ type Engine interface {
 type engine struct {
 	name     string
 	describe string
-	run      func(a, b *Matrix, o RunOptions) (*Matrix, Report, error)
+	// device marks engines that run (at least partly) on the simulated
+	// GPU stack: they honor FaultConfig, need a device arena, and are
+	// the ones a serving-layer circuit breaker can degrade away from.
+	device bool
+	run    func(a, b *Matrix, o RunOptions) (*Matrix, Report, error)
 }
 
 func (e *engine) Name() string     { return e.name }
@@ -190,6 +194,68 @@ func ByName(name string) (Engine, error) {
 		return e, nil
 	}
 	return nil, fmt.Errorf("spgemm: unknown engine %q (have %v)", name, Engines())
+}
+
+// DeviceBacked reports whether a registered engine runs on the
+// simulated GPU stack (honors FaultConfig and needs a device arena).
+// The serving layer uses it to decide which engines plan against
+// device memory at admission and which a tripped circuit breaker can
+// degrade to the CPU path. Unknown and externally registered engines
+// report false.
+func DeviceBacked(name string) bool {
+	e, ok := registry[name]
+	return ok && e.device
+}
+
+// Cost is a job's pre-execution footprint estimate — the signal an
+// admission controller needs before accepting work (the
+// memory-footprint-first discipline of the heterogeneous SpGEMM
+// frameworks this repo follows). Flops is exact (a host-side scan);
+// the device fields are the planned out-of-core grid for
+// device-backed engines and zero otherwise.
+type Cost struct {
+	// Flops is the multiply-add flop count (x2) of A·B.
+	Flops int64
+	// Chunks is the planned RowPanels*ColPanels grid (device engines).
+	Chunks int
+	// ArenaBytes is the simulated device memory the plan assumes.
+	ArenaBytes int64
+	// DeviceBacked mirrors DeviceBacked(engine).
+	DeviceBacked bool
+}
+
+// EstimateCost sizes a job before it runs: input validation, the exact
+// flop count, and — for device-backed engines — the out-of-core chunk
+// plan against the job's device memory. A job whose inputs cannot fit
+// the device at any grid comes back as an error wrapping ErrOOM, so an
+// admission controller can reject it up front instead of discovering
+// mid-run.
+func EstimateCost(engineName string, a, b *Matrix, opts *RunOptions) (Cost, error) {
+	if _, ok := registry[engineName]; !ok {
+		return Cost{}, fmt.Errorf("spgemm: unknown engine %q (have %v)", engineName, Engines())
+	}
+	if err := validateInputs(a, b); err != nil {
+		return Cost{}, err
+	}
+	if a.Cols != b.Rows {
+		return Cost{}, fmt.Errorf("spgemm: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	o := opts.withDefaults()
+	cost := Cost{Flops: Flops(a, b), DeviceBacked: DeviceBacked(engineName)}
+	if !cost.DeviceBacked {
+		return cost, nil
+	}
+	cost.ArenaBytes = o.device().MemoryBytes
+	grid := o.Core
+	if grid.RowPanels == 0 || grid.ColPanels == 0 {
+		planned, err := Plan(a, b, o.device())
+		if err != nil {
+			return Cost{}, fmt.Errorf("spgemm: job does not fit the device: %w: %w", ErrOOM, err)
+		}
+		grid = planned
+	}
+	cost.Chunks = grid.RowPanels * grid.ColPanels
+	return cost, nil
 }
 
 // CPUStats reports a wall-clock run of one of the real-CPU engines.
@@ -279,6 +345,7 @@ func init() {
 	})
 	Register(&engine{
 		name:     "gpu",
+		device:   true,
 		describe: "out-of-core GPU framework, asynchronous pre-allocated pipeline (paper Section III-B)",
 		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
 			opts, err := o.coreOptions(a, b, true)
@@ -294,6 +361,7 @@ func init() {
 	})
 	Register(&engine{
 		name:     "gpu-sync",
+		device:   true,
 		describe: "out-of-core GPU framework, synchronous baseline (paper Algorithm 3)",
 		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
 			opts, err := o.coreOptions(a, b, false)
@@ -309,6 +377,7 @@ func init() {
 	})
 	Register(&engine{
 		name:     "hybrid",
+		device:   true,
 		describe: "CPU-GPU hybrid with flop-sorted chunk distribution (paper Algorithm 4)",
 		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
 			opts, err := o.coreOptions(a, b, true)
@@ -329,6 +398,7 @@ func init() {
 	})
 	Register(&engine{
 		name:     "multigpu",
+		device:   true,
 		describe: "LPT-scheduled chunks across several simulated GPUs, optional CPU worker",
 		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
 			opts, err := o.coreOptions(a, b, true)
@@ -371,6 +441,7 @@ func init() {
 	})
 	Register(&engine{
 		name:     "auto",
+		device:   true,
 		describe: "out-of-core GPU with automatic chunk-grid planning and refinement",
 		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
 			c, st, err := runAuto(a, b, o.device(), o.Metrics)

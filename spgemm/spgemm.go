@@ -74,6 +74,15 @@ var (
 	ErrChunkAbandoned = faults.ErrChunkAbandoned
 	// ErrDeadline marks a run aborted at RunOptions.DeadlineSec.
 	ErrDeadline = faults.ErrDeadline
+	// ErrOverloaded is the serving layer's load-shed rejection: the
+	// job was never admitted (internal/serve wraps it with a
+	// retry-after hint).
+	ErrOverloaded = faults.ErrOverloaded
+	// ErrQueueFull is the serving layer's bounded-queue rejection.
+	ErrQueueFull = faults.ErrQueueFull
+	// ErrJobPanic marks a job whose engine panicked; the serving layer
+	// isolates the crash as this typed error instead of dying.
+	ErrJobPanic = faults.ErrJobPanic
 )
 
 // Matrix is a sparse matrix in compressed sparse row form.
