@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments to run (cpu,table1,table2,fig4,fig7,fig8,fig9,fig10,table3,scaling,distributed,gridsweep,ablation-ub,ablation-um,ablation-split,timeline,all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiments to run (cpu,iter,table1,table2,fig4,fig7,fig8,fig9,fig10,table3,scaling,distributed,gridsweep,ablation-ub,ablation-um,ablation-split,timeline,all)")
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 	engFlag := flag.String("engine", "", "benchmark one registered engine ("+strings.Join(spgemm.Engines(), ", ")+") and write BENCH_<name>.json")
 	traceFlag := flag.String("trace", "", "with -engine: write the run's Chrome trace-event JSON to this file")
@@ -53,18 +53,24 @@ func main() {
 	all := want["all"]
 	pick := func(name string) bool { return all || want[name] }
 
-	// The CPU engine benchmark needs no suite preparation, so run it
-	// before the (expensive) Suite call and exit early if it is the
-	// only experiment requested.
+	// The CPU and iterative benchmarks need no suite preparation, so
+	// run them before the (expensive) Suite call and exit early if
+	// nothing else is requested.
 	ran := 0
 	if pick("cpu") {
 		if err := runCPUBench(*csvDir); err != nil {
 			fail(err)
 		}
 		ran++
-		if !all && len(want) == 1 {
-			return
+	}
+	if pick("iter") {
+		if err := runIterBench(*csvDir); err != nil {
+			fail(err)
 		}
+		ran++
+	}
+	if !all && ran == len(want) {
+		return
 	}
 
 	runs, err := exp.Suite()
@@ -190,6 +196,31 @@ func runCPUBench(csvDir string) error {
 	fmt.Println("wrote BENCH_cpu.json")
 	if csvDir != "" {
 		return writeCSV(csvDir, "cpu", t)
+	}
+	return nil
+}
+
+// runIterBench times the structure-reuse fast path (cold full
+// multiply vs warm numeric-only re-multiply) on the CPU and simulated
+// GPU engines, prints the table and writes BENCH_iter.json.
+func runIterBench(csvDir string) error {
+	t, rep, err := exp.IterBench()
+	if err != nil {
+		return err
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_iter.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_iter.json")
+	if csvDir != "" {
+		return writeCSV(csvDir, "iter", t)
 	}
 	return nil
 }

@@ -55,6 +55,8 @@ func main() {
 	tripLost := flag.Int64("trip-devices-lost", 0, "breaker: cumulative lost devices to trip (0 = default)")
 	tripFailures := flag.Int("trip-failures", 0, "breaker: consecutive failures to trip (0 = default)")
 	cooldownJobs := flag.Int("cooldown-jobs", 0, "breaker: degraded jobs before a half-open probe (0 = default)")
+	planCacheBytes := flag.Int64("plan-cache-bytes", 0, "structure-reuse plan cache budget in bytes (0 = default, negative disables)")
+	storeBytes := flag.Int64("matrix-store-bytes", 0, "content-addressed matrix store budget in bytes (0 = 512 MiB)")
 
 	driveURL := flag.String("drive", "", "drive mode: base URL of a running spgemm-serve to load-test")
 	clients := flag.Int("clients", 4, "drive mode: concurrent clients")
@@ -62,11 +64,12 @@ func main() {
 	driveEngines := flag.String("drive-engines", "cpu", "drive mode: comma-separated engines to request round-robin")
 	expectShed := flag.Bool("expect-shed", false, "drive mode: fail unless the server shed load")
 	expectBreaker := flag.Bool("expect-breaker", false, "drive mode: fail unless a breaker tripped and jobs degraded")
+	driveReuse := flag.Bool("drive-reuse", false, "drive mode: upload one matrix and multiply by handle (repeated-pattern traffic); fails unless the plan cache got hits")
 	flag.Parse()
 
 	if *driveURL != "" {
 		if err := drive(*driveURL, *clients, *requests,
-			strings.Split(*driveEngines, ","), *expectShed, *expectBreaker); err != nil {
+			strings.Split(*driveEngines, ","), *expectShed, *expectBreaker, *driveReuse); err != nil {
 			log.Fatal("spgemm-serve: drive: ", err)
 		}
 		return
@@ -93,6 +96,8 @@ func main() {
 		MaxInflightFlops: *maxFlops,
 		Base:             base,
 		DrainTimeout:     *drainTimeout,
+		PlanCacheBytes:   *planCacheBytes,
+		MatrixStoreBytes: *storeBytes,
 		Breaker: serve.BreakerConfig{
 			TripDevicesLost: *tripLost,
 			TripFailures:    *tripFailures,
@@ -159,11 +164,31 @@ func registerPanicky(every int64) {
 
 // drive load-tests a running server: clients*requests multiply posts
 // round-robin over the requested engines, then assertions against the
-// final /metricsz snapshot.
-func drive(baseURL string, clients, requests int, engines []string, expectShed, expectBreaker bool) error {
+// final /metricsz snapshot. With reuse, each client multiplies one
+// shared uploaded matrix by handle — the repeated-pattern workload the
+// plan cache accelerates — instead of generating a fresh operand per
+// request.
+func drive(baseURL string, clients, requests int, engines []string, expectShed, expectBreaker, reuse bool) error {
 	client := &http.Client{Timeout: 120 * time.Second}
 	if err := waitHealthy(client, baseURL, 30*time.Second); err != nil {
 		return err
+	}
+
+	var handle string
+	if reuse {
+		spec := serve.MatrixSpec{Kind: "rmat", Scale: 7, EdgeFactor: 8, Seed: 100}
+		body, _ := json.Marshal(serve.MatrixRequest{Spec: &spec})
+		resp, err := client.Post(baseURL+"/v1/matrices", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("matrix upload: %w", err)
+		}
+		var mr serve.MatrixResponse
+		err = json.NewDecoder(resp.Body).Decode(&mr)
+		resp.Body.Close()
+		if err != nil || mr.Handle == "" {
+			return fmt.Errorf("matrix upload: no handle (status %d, err %v)", resp.StatusCode, err)
+		}
+		handle = mr.Handle
 	}
 
 	var (
@@ -178,12 +203,14 @@ func drive(baseURL string, clients, requests int, engines []string, expectShed, 
 			defer wg.Done()
 			for r := 0; r < requests; r++ {
 				engine := engines[(c*requests+r)%len(engines)]
-				req := serve.MultiplyRequest{
-					Engine: strings.TrimSpace(engine),
-					A: serve.MatrixSpec{
+				req := serve.MultiplyRequest{Engine: strings.TrimSpace(engine)}
+				if reuse {
+					req.AHandle = handle
+				} else {
+					req.A = serve.MatrixSpec{
 						Kind: "rmat", Scale: 7, EdgeFactor: 8,
 						Seed: int64(100 + c*requests + r),
-					},
+					}
 				}
 				body, _ := json.Marshal(req)
 				resp, err := client.Post(baseURL+"/v1/multiply", "application/json", bytes.NewReader(body))
@@ -207,7 +234,9 @@ func drive(baseURL string, clients, requests int, engines []string, expectShed, 
 	}
 	wg.Wait()
 
-	snap := map[string]int64{}
+	// /metricsz mixes int64 counters with float hit rates; decode into
+	// float64 and truncate where ints are asserted.
+	rawSnap := map[string]float64{}
 	resp, err := client.Get(baseURL + "/metricsz")
 	if err != nil {
 		return fmt.Errorf("metricsz: %w", err)
@@ -217,8 +246,12 @@ func drive(baseURL string, clients, requests int, engines []string, expectShed, 
 	if err != nil {
 		return err
 	}
-	if err := json.Unmarshal(data, &snap); err != nil {
+	if err := json.Unmarshal(data, &rawSnap); err != nil {
 		return fmt.Errorf("metricsz: %w", err)
+	}
+	snap := make(map[string]int64, len(rawSnap))
+	for k, v := range rawSnap {
+		snap[k] = int64(v)
 	}
 
 	fmt.Printf("drive: %d clients x %d requests, statuses %v, degraded responses %d\n",
@@ -228,6 +261,11 @@ func drive(baseURL string, clients, requests int, engines []string, expectShed, 
 		snap[metrics.CounterServePanicked], snap[metrics.CounterServeRejectedOverload],
 		snap[metrics.CounterServeRejectedQueue], snap[metrics.CounterServeDegraded],
 		snap[metrics.CounterServeBreakerTrips])
+	if reuse {
+		fmt.Printf("drive: plan cache hits=%d misses=%d hit_rate=%.2f store hits=%d\n",
+			snap[metrics.CounterPlanCacheHits], snap[metrics.CounterPlanCacheMisses],
+			rawSnap["plan_cache_hit_rate"], snap[metrics.CounterMatrixStoreHits])
+	}
 
 	if snap[metrics.CounterServeCompleted] == 0 {
 		return fmt.Errorf("no job completed")
@@ -244,6 +282,10 @@ func drive(baseURL string, clients, requests int, engines []string, expectShed, 
 		if snap[metrics.CounterServeDegraded] == 0 {
 			return fmt.Errorf("breaker tripped but no job degraded to the fallback engine")
 		}
+	}
+	if reuse && snap[metrics.CounterPlanCacheHits] == 0 {
+		return fmt.Errorf("handle-reuse traffic got no plan cache hits (misses=%d)",
+			snap[metrics.CounterPlanCacheMisses])
 	}
 	return nil
 }

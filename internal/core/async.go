@@ -144,7 +144,7 @@ loop:
 			break
 		}
 		rp, cp := e.chunkPanels(id)
-		res, err := speck.Compute(rp.M, cp.M, e.cm)
+		res, warm, err := e.chunkResult(id, rp, cp)
 		if err != nil {
 			e.fail(err) // host-side arithmetic failure is terminal
 			break
@@ -212,52 +212,58 @@ loop:
 			continue
 		}
 		reservedWS = true
-		if err := e.devOp(p, id, func() error {
-			return dev.Kernel(p, lbl("analysis", id), res.AnalysisSec)
-		}); err != nil {
-			if abort(err) {
-				break
+		if !warm {
+			if err := e.devOp(p, id, func() error {
+				return dev.Kernel(p, lbl("analysis", id), res.AnalysisSec)
+			}); err != nil {
+				if abort(err) {
+					break
+				}
+				continue
 			}
-			continue
-		}
-		var rowInfoErr error
-		rowInfoDone := out.Enqueue(lbl("row info", id), func(q *sim.Proc) {
-			rowInfoErr = e.devOp(q, id, func() error {
-				return dev.TransferD2H(q, lbl("row info", id), res.RowInfoBytes)
+			var rowInfoErr error
+			rowInfoDone := out.Enqueue(lbl("row info", id), func(q *sim.Proc) {
+				rowInfoErr = e.devOp(q, id, func() error {
+					return dev.TransferD2H(q, lbl("row info", id), res.RowInfoBytes)
+				})
 			})
-		})
-		p.Await(rowInfoDone) // host grouping needs the row analysis
-		if rowInfoErr != nil {
-			if abort(rowInfoErr) {
-				break
+			p.Await(rowInfoDone) // host grouping needs the row analysis
+			if rowInfoErr != nil {
+				if abort(rowInfoErr) {
+					break
+				}
+				continue
 			}
-			continue
 		}
 
 		// Transfer 2: first portion of the previous chunk's output,
-		// overlapping this chunk's symbolic phase.
+		// overlapping this chunk's symbolic phase. A warm chunk has no
+		// symbolic phase — its structure came from the plan cache — so
+		// the transfer overlaps the numeric phase instead.
 		sendP1(prev)
-		if err := e.launchGroupKernels(p, id, res, "symbolic"); err != nil {
-			if abort(err) {
-				break
+		if !warm {
+			if err := e.launchGroupKernels(p, id, res, "symbolic"); err != nil {
+				if abort(err) {
+					break
+				}
+				continue
 			}
-			continue
-		}
 
-		// Transfer 3: this chunk's symbolic results; the host needs
-		// them to assign arena offsets for the output arrays.
-		var nnzInfoErr error
-		nnzInfoDone := out.Enqueue(lbl("nnz info", id), func(q *sim.Proc) {
-			nnzInfoErr = e.devOp(q, id, func() error {
-				return dev.TransferD2H(q, lbl("nnz info", id), res.NnzInfoBytes)
+			// Transfer 3: this chunk's symbolic results; the host needs
+			// them to assign arena offsets for the output arrays.
+			var nnzInfoErr error
+			nnzInfoDone := out.Enqueue(lbl("nnz info", id), func(q *sim.Proc) {
+				nnzInfoErr = e.devOp(q, id, func() error {
+					return dev.TransferD2H(q, lbl("nnz info", id), res.NnzInfoBytes)
+				})
 			})
-		})
-		p.Await(nnzInfoDone)
-		if nnzInfoErr != nil {
-			if abort(nnzInfoErr) {
-				break
+			p.Await(nnzInfoDone)
+			if nnzInfoErr != nil {
+				if abort(nnzInfoErr) {
+					break
+				}
+				continue
 			}
-			continue
 		}
 
 		// Transfer 4: remainder of the previous chunk's output,
@@ -296,5 +302,6 @@ loop:
 	sendP1(prev)
 	sendP2(prev)
 	p.AwaitAll(slotDone...)
+	e.endResident = cache.keys()
 	return failedIDs
 }

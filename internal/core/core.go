@@ -87,6 +87,18 @@ type Options struct {
 	// DeadlineSec aborts the run (faults.ErrDeadline) once the
 	// simulated clock passes it. 0 means no deadline.
 	DeadlineSec float64
+	// PlanCache, when non-nil, caches the values-independent half of
+	// runs (partitions, chunk flops, symbolic results, panel residency)
+	// across engines keyed by the operands' structural fingerprints.
+	// A warm run re-values the cached partitions and skips the
+	// symbolic device pipeline. Ignored with DynamicAlloc (that mode
+	// models unmodified spECK, which re-plans every run by design).
+	// Nil leaves every run byte-identical to a build without caching.
+	PlanCache *PlanCache
+	// PlanDevice namespaces the plan cache's device-residency record
+	// when several devices share one cache (multigpu); empty means
+	// "dev".
+	PlanDevice string
 }
 
 func (o Options) withDefaults() Options {
@@ -219,6 +231,16 @@ type Engine struct {
 	// their accounting when the run ends on any path.
 	live map[*gpusim.Alloc]struct{}
 
+	// plan is the engine's pinned plan-cache entry (nil without a
+	// cache); planWarm marks a cache hit. planResident carries the
+	// panel keys the previous run on this pattern left device-resident
+	// (those skip their H2D transfer); endResident collects the final
+	// residency this run writes back at Teardown.
+	plan         *planEntry
+	planWarm     bool
+	planResident map[string]struct{}
+	endResident  []string
+
 	rows, cols int // dimensions of C
 }
 
@@ -232,34 +254,82 @@ func NewEngine(dev *gpusim.Device, a, b *csr.Matrix, opts Options) (*Engine, err
 	if opts.RowPanels > a.Rows && a.Rows > 0 {
 		return nil, fmt.Errorf("core: %d row panels for %d rows", opts.RowPanels, a.Rows)
 	}
-	stopPartition := opts.Metrics.StartWall("host", "partition")
-	rps, err := partition.RowPanels(a, opts.RowPanels)
-	if err != nil {
-		return nil, err
+	cm := speck.ModelFromDevice(dev.Cfg)
+	pc := opts.PlanCache
+	if opts.DynamicAlloc {
+		pc = nil // unmodified-spECK mode re-plans every run by design
 	}
-	cps, err := partition.ColPanelsParallel(b, opts.ColPanels, opts.PartitionThreads)
-	if err != nil {
-		return nil, err
+	if opts.PlanDevice == "" {
+		opts.PlanDevice = "dev"
 	}
-	stopPartition()
+
+	var rps []partition.RowPanel
+	var cps []partition.ColPanel
+	var ent *planEntry
+	warm := false
+	var key planKey
+	if pc != nil {
+		stopFP := opts.Metrics.StartWall("host", "fingerprint")
+		key = planKey{
+			fpA: csr.Fingerprint(a), fpB: csr.Fingerprint(b),
+			aRows: a.Rows, aCols: a.Cols, bCols: b.Cols,
+			rowPanels: opts.RowPanels, colPanels: opts.ColPanels,
+			cm: cm,
+		}
+		stopFP()
+		ent = pc.acquire(key)
+	}
+	if ent != nil {
+		// Warm: re-value the cached partitions against the fresh
+		// operands — a reslice for row panels, one copy pass for
+		// column panels — skipping all partitioning index work.
+		stopRevalue := opts.Metrics.StartWall("host", "revalue panels")
+		rps = revalueRowPanels(ent.rps, a)
+		cps = revalueColPanels(ent.cps, b)
+		stopRevalue()
+		warm = true
+		opts.Metrics.Add(metrics.CounterPlanCacheHits, 1)
+	} else {
+		stopPartition := opts.Metrics.StartWall("host", "partition")
+		var err error
+		rps, err = partition.RowPanels(a, opts.RowPanels)
+		if err != nil {
+			return nil, err
+		}
+		cps, err = partition.ColPanelsParallel(b, opts.ColPanels, opts.PartitionThreads)
+		if err != nil {
+			return nil, err
+		}
+		stopPartition()
+		if pc != nil {
+			ent = pc.store(key, rps, cps)
+			opts.Metrics.Add(metrics.CounterPlanCacheMisses, 1)
+		}
+	}
 	if opts.Faults.Enabled() && dev.Faults() == nil {
 		// Attach the injector unless the caller (multigpu) already
 		// installed a per-device derived one.
 		dev.SetFaults(faults.New(opts.Faults))
 	}
-	return &Engine{
+	e := &Engine{
 		Dev:       dev,
 		Opts:      opts,
 		RowPanels: rps,
 		ColPanels: cps,
-		cm:        speck.ModelFromDevice(dev.Cfg),
+		cm:        cm,
 		Results:   map[int]*speck.Result{},
 		failed:    map[int]error{},
 		retries:   map[int]int{},
 		live:      map[*gpusim.Alloc]struct{}{},
+		plan:      ent,
+		planWarm:  warm,
 		rows:      a.Rows,
 		cols:      b.Cols,
-	}, nil
+	}
+	if warm {
+		e.planResident = pc.residentSet(ent, opts.PlanDevice)
+	}
+	return e, nil
 }
 
 // trackAlloc and untrackAlloc maintain the live-allocation set behind
@@ -282,6 +352,18 @@ func (e *Engine) Teardown() int64 {
 	}
 	e.live = map[*gpusim.Alloc]struct{}{}
 	e.arenaAllocated = false
+	if e.plan != nil {
+		// Write back device residency for the next run on this
+		// pattern — unless the device was lost, which invalidates any
+		// recorded residency (its memory is gone; trusting it would
+		// serve stale panels).
+		pc := e.Opts.PlanCache
+		pc.setResident(e.plan, e.Opts.PlanDevice, e.endResident, e.DeviceLost())
+		pc.release(e.plan)
+		e.plan = nil
+		e.planResident = nil
+		e.endResident = nil
+	}
 	leaked := e.Dev.MemUsed()
 	if m := e.Opts.Metrics; m != nil {
 		m.Add(metrics.CounterMemInUse, leaked)
@@ -299,14 +381,57 @@ func (e *Engine) chunkPanels(id int) (partition.RowPanel, partition.ColPanel) {
 }
 
 // ChunkFlops computes the flop count of every chunk (GetFlops of
-// Algorithm 4), indexed by chunk id in row-major order.
+// Algorithm 4), indexed by chunk id in row-major order. Flop counts
+// depend only on structure, so with a plan cache a warm run returns
+// the cached counts without re-walking the panels.
 func (e *Engine) ChunkFlops() []int64 {
+	pc := e.Opts.PlanCache
+	if e.plan != nil {
+		if f := pc.flops(e.plan); f != nil {
+			return f
+		}
+	}
 	out := make([]int64, e.NumChunks())
 	for id := range out {
 		rp, cp := e.chunkPanels(id)
 		out[id] = csr.Flops(rp.M, cp.M)
 	}
+	if e.plan != nil {
+		pc.setFlops(e.plan, out)
+	}
 	return out
+}
+
+// PlanWarm reports whether the engine was built from a plan-cache hit.
+func (e *Engine) PlanWarm() bool { return e.planWarm }
+
+// chunkResult computes one chunk's result. With a cached symbolic
+// plan for the chunk it runs only the numeric half (warm=true tells
+// the pipelines to skip the chunk's symbolic device phases); otherwise
+// it runs the full computation and, when a plan entry is active,
+// records the symbolic half for future runs. Compute is exactly
+// SymbolicCompute followed by Numeric, so both paths produce
+// bit-identical chunks.
+func (e *Engine) chunkResult(id int, rp partition.RowPanel, cp partition.ColPanel) (res *speck.Result, warm bool, err error) {
+	if e.plan == nil {
+		res, err = speck.Compute(rp.M, cp.M, e.cm)
+		return res, false, err
+	}
+	pc := e.Opts.PlanCache
+	if sym := pc.symbolic(e.plan, id); sym != nil {
+		res, err = speck.Numeric(sym, rp.M, cp.M)
+		return res, err == nil, err
+	}
+	sym, err := speck.SymbolicCompute(rp.M, cp.M, e.cm)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err = speck.Numeric(sym, rp.M, cp.M)
+	if err != nil {
+		return nil, false, err
+	}
+	pc.addSymbolic(e.plan, id, sym)
+	return res, false, nil
 }
 
 // ScheduleOrder returns the chunk ids in execution order: row-major by

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/csr"
+	"repro/internal/faults"
+	"repro/internal/matgen"
+	"repro/internal/metrics"
+)
+
+// withFreshValues returns a copy of m sharing the sparsity pattern
+// with new deterministic values.
+func withFreshValues(m *csr.Matrix, seed int64) *csr.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	out := &csr.Matrix{
+		Rows:       m.Rows,
+		Cols:       m.Cols,
+		RowOffsets: m.RowOffsets,
+		ColIDs:     m.ColIDs,
+		Data:       make([]float64, len(m.Data)),
+	}
+	for i := range out.Data {
+		out.Data[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func requireBitIdentical(t *testing.T, cold, warm *csr.Matrix) {
+	t.Helper()
+	if cold.Rows != warm.Rows || cold.Cols != warm.Cols || len(cold.ColIDs) != len(warm.ColIDs) {
+		t.Fatalf("shape/nnz mismatch: %dx%d/%d vs %dx%d/%d",
+			cold.Rows, cold.Cols, len(cold.ColIDs), warm.Rows, warm.Cols, len(warm.ColIDs))
+	}
+	for i := range cold.RowOffsets {
+		if cold.RowOffsets[i] != warm.RowOffsets[i] {
+			t.Fatalf("row offset %d: %d != %d", i, cold.RowOffsets[i], warm.RowOffsets[i])
+		}
+	}
+	for i := range cold.ColIDs {
+		if cold.ColIDs[i] != warm.ColIDs[i] {
+			t.Fatalf("col id %d: %d != %d", i, cold.ColIDs[i], warm.ColIDs[i])
+		}
+	}
+	for i := range cold.Data {
+		if math.Float64bits(cold.Data[i]) != math.Float64bits(warm.Data[i]) {
+			t.Fatalf("value %d: bits differ (%v vs %v)", i, cold.Data[i], warm.Data[i])
+		}
+	}
+}
+
+// TestPlanCacheWarmByteIdentical is the device-engine half of the
+// fast path's contract: a warm run (cached plan, fresh values) returns
+// a product bit-for-bit identical to an uncached cold run of the same
+// inputs, in both pipeline modes.
+func TestPlanCacheWarmByteIdentical(t *testing.T) {
+	a := matgen.RMAT(9, 8, 0.57, 0.19, 0.19, 21)
+	for _, async := range []bool{false, true} {
+		pc := NewPlanCache(0)
+		opts := Options{RowPanels: 2, ColPanels: 3, Async: async, PlanCache: pc}
+		if _, _, err := Run(a, a, testCfg(64<<20), opts); err != nil {
+			t.Fatal(err)
+		}
+		for it := int64(0); it < 3; it++ {
+			fresh := withFreshValues(a, 300+it)
+			cold, _, err := Run(fresh, fresh, testCfg(64<<20), Options{RowPanels: 2, ColPanels: 3, Async: async})
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, _, err := Run(fresh, fresh, testCfg(64<<20), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireBitIdentical(t, cold, warm)
+		}
+		hits, misses, _ := pc.Counters()
+		if misses != 1 || hits != 3 {
+			t.Fatalf("async=%v: hits=%d misses=%d, want 3/1", async, hits, misses)
+		}
+	}
+}
+
+// TestPlanCacheWarmSkipsWork pins what a warm run avoids: the
+// symbolic-phase info transfers shrink BytesD2H, residency removes the
+// panel H2D transfers entirely, and the simulated makespan drops.
+func TestPlanCacheWarmSkipsWork(t *testing.T) {
+	a := matgen.RMAT(9, 8, 0.57, 0.19, 0.19, 22)
+	for _, async := range []bool{false, true} {
+		pc := NewPlanCache(0)
+		opts := Options{RowPanels: 2, ColPanels: 2, Async: async, PlanCache: pc}
+		_, coldSt, err := Run(a, a, testCfg(256<<20), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := withFreshValues(a, 23)
+		_, warmSt, err := Run(fresh, fresh, testCfg(256<<20), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warmSt.BytesH2D != 0 {
+			t.Fatalf("async=%v: warm run transferred %d H2D bytes; panels should be resident", async, warmSt.BytesH2D)
+		}
+		if warmSt.BytesD2H >= coldSt.BytesD2H {
+			t.Fatalf("async=%v: warm D2H %d not below cold %d (info transfers not skipped)",
+				async, warmSt.BytesD2H, coldSt.BytesD2H)
+		}
+		if warmSt.TotalSec >= coldSt.TotalSec {
+			t.Fatalf("async=%v: warm makespan %.6fs not below cold %.6fs", async, warmSt.TotalSec, coldSt.TotalSec)
+		}
+	}
+}
+
+// TestPlanCacheCountersReconcile runs N jobs on one pattern and one on
+// another: hits+misses must equal the job count, and the per-run
+// metrics counters must agree with the cache's own totals.
+func TestPlanCacheCountersReconcile(t *testing.T) {
+	a := matgen.ER(200, 200, 0.03, 24)
+	b := matgen.ER(200, 200, 0.03, 25)
+	pc := NewPlanCache(0)
+	col := metrics.New()
+	opts := Options{RowPanels: 2, ColPanels: 2, PlanCache: pc, Metrics: col}
+	const jobsA, jobsB = 4, 2
+	for i := 0; i < jobsA; i++ {
+		if _, _, err := Run(a, a, testCfg(64<<20), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < jobsB; i++ {
+		if _, _, err := Run(b, b, testCfg(64<<20), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, evictions := pc.Counters()
+	if hits+misses != jobsA+jobsB {
+		t.Fatalf("hits %d + misses %d != %d jobs", hits, misses, jobsA+jobsB)
+	}
+	if misses != 2 || hits != jobsA+jobsB-2 {
+		t.Fatalf("hits=%d misses=%d, want %d/2", hits, misses, jobsA+jobsB-2)
+	}
+	if evictions != 0 {
+		t.Fatalf("unexpected evictions %d", evictions)
+	}
+	if got := col.Counter(metrics.CounterPlanCacheHits); got != hits {
+		t.Fatalf("metrics hit counter %d != cache %d", got, hits)
+	}
+	if got := col.Counter(metrics.CounterPlanCacheMisses); got != misses {
+		t.Fatalf("metrics miss counter %d != cache %d", got, misses)
+	}
+}
+
+// TestPlanCacheInvalidate removes exactly the entries referencing a
+// fingerprint and leaves other patterns warm.
+func TestPlanCacheInvalidate(t *testing.T) {
+	a := matgen.ER(150, 150, 0.04, 26)
+	b := matgen.ER(150, 150, 0.04, 27)
+	pc := NewPlanCache(0)
+	opts := Options{RowPanels: 2, ColPanels: 2, PlanCache: pc}
+	for _, m := range []*csr.Matrix{a, b} {
+		if _, _, err := Run(m, m, testCfg(64<<20), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pc.Len() != 2 {
+		t.Fatalf("cache has %d entries, want 2", pc.Len())
+	}
+	if n := pc.Invalidate(csr.Fingerprint(a)); n != 1 {
+		t.Fatalf("invalidated %d entries, want 1", n)
+	}
+	if pc.Len() != 1 {
+		t.Fatalf("cache has %d entries after invalidate, want 1", pc.Len())
+	}
+	// b's plan must still be warm.
+	if _, _, err := Run(b, b, testCfg(64<<20), opts); err != nil {
+		t.Fatal(err)
+	}
+	hits, _, _ := pc.Counters()
+	if hits != 1 {
+		t.Fatalf("hits=%d after invalidate+rerun, want 1", hits)
+	}
+}
+
+// TestPlanCacheLRUEviction bounds the cache by bytes: inserting a
+// second pattern over a tiny budget evicts the least-recently-used.
+func TestPlanCacheLRUEviction(t *testing.T) {
+	a := matgen.ER(300, 300, 0.03, 28)
+	b := matgen.ER(300, 300, 0.03, 29)
+	pc := NewPlanCache(1) // smaller than any plan: every insert evicts the previous
+	opts := Options{RowPanels: 2, ColPanels: 2, PlanCache: pc}
+	if _, _, err := Run(a, a, testCfg(64<<20), opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(b, b, testCfg(64<<20), opts); err != nil {
+		t.Fatal(err)
+	}
+	_, _, evictions := pc.Counters()
+	if evictions == 0 {
+		t.Fatal("no evictions under a 1-byte budget")
+	}
+	if pc.Bytes() > pc.max+1 && pc.Len() > 1 {
+		t.Fatalf("cache retains %d bytes across %d entries over budget", pc.Bytes(), pc.Len())
+	}
+}
+
+// TestPlanCacheDeviceLossInvalidatesResidency is the chaos scenario:
+// a device dies while a cached plan's panels are recorded resident.
+// The loss must clear the residency record, and the next run on the
+// pattern must fall back to cold panel transfers (BytesH2D > 0) and
+// still produce the exact product — never serve stale residency.
+func TestPlanCacheDeviceLossInvalidatesResidency(t *testing.T) {
+	a := matgen.RMAT(8, 8, 0.57, 0.19, 0.19, 30)
+	pc := NewPlanCache(0)
+	base := Options{RowPanels: 2, ColPanels: 2, PlanCache: pc}
+
+	// Job 1: cold; records plan and panel residency.
+	want, _, err := Run(a, a, testCfg(64<<20), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Job 2: warm, but the device is lost mid-run.
+	lossy := base
+	lossy.Faults = faults.Config{Seed: 1, LossAfterOps: 3}
+	if _, _, err := Run(a, a, testCfg(64<<20), lossy); err == nil {
+		t.Fatal("device-loss run unexpectedly succeeded")
+	}
+
+	// Job 3: fault-free warm run. The plan structure is still valid,
+	// but residency must have been invalidated: the panels transfer
+	// again from the host.
+	got, st, err := Run(a, a, testCfg(64<<20), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BytesH2D == 0 {
+		t.Fatal("run after device loss moved no H2D bytes: stale residency served")
+	}
+	requireBitIdentical(t, want, got)
+}
+
+// TestPlanCacheDynamicAllocStaysCold pins that unmodified-spECK mode
+// never engages the plan cache.
+func TestPlanCacheDynamicAllocStaysCold(t *testing.T) {
+	a := matgen.ER(100, 100, 0.05, 31)
+	pc := NewPlanCache(0)
+	opts := Options{RowPanels: 2, ColPanels: 2, DynamicAlloc: true, PlanCache: pc}
+	for i := 0; i < 2; i++ {
+		if _, _, err := Run(a, a, testCfg(64<<20), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, _ := pc.Counters()
+	if hits != 0 || misses != 0 || pc.Len() != 0 {
+		t.Fatalf("dynamic mode touched the plan cache: hits=%d misses=%d len=%d", hits, misses, pc.Len())
+	}
+}

@@ -60,7 +60,7 @@ func (e *Engine) processSync(p *sim.Proc, ids []int) []int {
 			break
 		}
 		rp, cp := e.chunkPanels(id)
-		res, err := speck.Compute(rp.M, cp.M, e.cm)
+		res, warm, err := e.chunkResult(id, rp, cp)
 		if err != nil {
 			e.fail(err) // host-side arithmetic failure is terminal
 			break
@@ -117,7 +117,7 @@ func (e *Engine) processSync(p *sim.Proc, ids []int) []int {
 			}
 			if !misfit {
 				arenaUsed += need
-				chunkErr = e.syncChunkPrealloc(p, id, res)
+				chunkErr = e.syncChunkPrealloc(p, id, res, warm)
 			}
 		}
 		if chunkErr != nil {
@@ -130,31 +130,37 @@ func (e *Engine) processSync(p *sim.Proc, ids []int) []int {
 			return failedIDs
 		}
 	}
+	e.endResident = cache.keys()
 	return failedIDs
 }
 
 // syncChunkPrealloc runs one chunk's phases serially without device
 // allocations; the input panels are already resident. Each device
-// operation runs under the chunk's retry budget.
-func (e *Engine) syncChunkPrealloc(p *sim.Proc, id int, res *speck.Result) error {
+// operation runs under the chunk's retry budget. A warm chunk (its
+// symbolic structure served from the plan cache) skips the analysis
+// and symbolic kernels and their info transfers: only numeric kernels
+// and the output transfer touch the device.
+func (e *Engine) syncChunkPrealloc(p *sim.Proc, id int, res *speck.Result, warm bool) error {
 	dev := e.Dev
-	if err := e.devOp(p, id, func() error {
-		return dev.Kernel(p, lbl("analysis", id), res.AnalysisSec)
-	}); err != nil {
-		return err
-	}
-	if err := e.devOp(p, id, func() error {
-		return dev.TransferD2H(p, lbl("row info", id), res.RowInfoBytes)
-	}); err != nil {
-		return err
-	}
-	if err := e.launchGroupKernels(p, id, res, "symbolic"); err != nil {
-		return err
-	}
-	if err := e.devOp(p, id, func() error {
-		return dev.TransferD2H(p, lbl("nnz info", id), res.NnzInfoBytes)
-	}); err != nil {
-		return err
+	if !warm {
+		if err := e.devOp(p, id, func() error {
+			return dev.Kernel(p, lbl("analysis", id), res.AnalysisSec)
+		}); err != nil {
+			return err
+		}
+		if err := e.devOp(p, id, func() error {
+			return dev.TransferD2H(p, lbl("row info", id), res.RowInfoBytes)
+		}); err != nil {
+			return err
+		}
+		if err := e.launchGroupKernels(p, id, res, "symbolic"); err != nil {
+			return err
+		}
+		if err := e.devOp(p, id, func() error {
+			return dev.TransferD2H(p, lbl("nnz info", id), res.NnzInfoBytes)
+		}); err != nil {
+			return err
+		}
 	}
 	if err := e.launchGroupKernels(p, id, res, "numeric"); err != nil {
 		return err

@@ -1,0 +1,71 @@
+package csr
+
+import "math"
+
+// Fingerprint hashes the *structure* of a matrix — dimensions, row
+// offsets and column ids, never the values — into a 64-bit key. Two
+// matrices with the same sparsity pattern but different numeric values
+// fingerprint identically, which is exactly what the structure-reuse
+// fast path wants: a plan (chunk grid, row groups, output structure)
+// computed for one multiply is valid for any later multiply whose
+// operands carry the same pattern with fresh values.
+//
+// The hash is FNV-1a over the little-endian encoding of the fields.
+// It is cheap (one linear pass over the index arrays, no allocation)
+// relative to the symbolic work it lets callers skip, and collisions
+// are improbable enough for cache keying; the plan cache additionally
+// stores the dimensions so a collision can at worst alias two patterns
+// of identical shape, never cause an out-of-bounds plan.
+func Fingerprint(m *Matrix) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix32 := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= uint64(v & 0xff)
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix64(uint64(m.Rows))
+	mix64(uint64(m.Cols))
+	for _, o := range m.RowOffsets {
+		mix64(uint64(o))
+	}
+	for _, c := range m.ColIDs {
+		mix32(uint32(c))
+	}
+	return h
+}
+
+// FingerprintValues hashes the numeric values of a matrix (and nothing
+// else). Together with Fingerprint it content-addresses a matrix: the
+// serving layer's matrix store derives its handles from the pair, so
+// re-uploading identical content is idempotent while a values-only
+// change produces a new handle that still shares the structural
+// fingerprint — and therefore the cached plan — of its pattern.
+func FingerprintValues(m *Matrix) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range m.Data {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h ^= bits & 0xff
+			h *= prime64
+			bits >>= 8
+		}
+	}
+	return h
+}

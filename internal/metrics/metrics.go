@@ -272,6 +272,21 @@ const (
 	CounterServeBreakerTrips     = "serve_breaker_trips"
 	CounterServeBreakerProbes    = "serve_breaker_probes"
 	CounterServeBreakerCloses    = "serve_breaker_closes"
+
+	// Plan-cache counters, published per run by engines given a
+	// core.PlanCache (hits+misses reconciles with the job count) and in
+	// aggregate by the serving layer's /metricsz. Evictions counts
+	// entries dropped to keep the cache under its byte budget or
+	// invalidated by a device loss or matrix-store eviction.
+	CounterPlanCacheHits      = "plan_cache_hits"
+	CounterPlanCacheMisses    = "plan_cache_misses"
+	CounterPlanCacheEvictions = "plan_cache_evictions"
+
+	// Matrix-store counters, published by internal/serve's
+	// content-addressed store behind handle-based re-multiply.
+	CounterMatrixStoreHits      = "matrix_store_hits"
+	CounterMatrixStoreMisses    = "matrix_store_misses"
+	CounterMatrixStoreEvictions = "matrix_store_evictions"
 )
 
 // Snapshot flattens the collector into sorted key/value pairs: every

@@ -253,7 +253,12 @@ func Run(a, b *csr.Matrix, cfg gpusim.DeviceConfig, opts Options) (*csr.Matrix, 
 		if opts.Core.Faults.Enabled() {
 			dev.SetFaults(faults.New(opts.Core.Faults.Derive(g)))
 		}
-		eng, err := core.NewEngine(dev, a, b, opts.Core)
+		coreOpts := opts.Core
+		// Each GPU records plan-cache panel residency under its own
+		// namespace; a shared one would let one device's residency
+		// masquerade as another's.
+		coreOpts.PlanDevice = fmt.Sprintf("dev%d", g)
+		eng, err := core.NewEngine(dev, a, b, coreOpts)
 		if err != nil {
 			return nil, Stats{}, err
 		}

@@ -71,6 +71,18 @@ func (e *PanicError) Error() string {
 
 func (e *PanicError) Unwrap() error { return faults.ErrJobPanic }
 
+// UnknownHandleError rejects a job referencing a matrix handle the
+// store does not hold (never uploaded, deleted, or evicted). The
+// client re-uploads and retries; the HTTP layer maps it to 404.
+type UnknownHandleError struct {
+	// Handle is the unresolved handle.
+	Handle string
+}
+
+func (e *UnknownHandleError) Error() string {
+	return fmt.Sprintf("serve: unknown matrix handle %q (re-upload via /v1/matrices)", e.Handle)
+}
+
 // RetryAfter extracts the retry-after hint from a shedding error
 // chain (ok is false when err carries none).
 func RetryAfter(err error) (d time.Duration, ok bool) {

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/spgemm"
 )
 
@@ -82,15 +84,41 @@ func (m MatrixSpec) Build() (*spgemm.Matrix, error) {
 	}
 }
 
-// MultiplyRequest is the POST /v1/multiply body. B defaults to the
-// same matrix as A (the common A·A graph workload).
+// MultiplyRequest is the POST /v1/multiply body. Operands come either
+// as specs or as handles into the matrix store (a handle wins over
+// its spec); B defaults to the same matrix as A (the common A·A graph
+// workload).
 type MultiplyRequest struct {
 	Engine      string      `json:"engine"`
 	A           MatrixSpec  `json:"a"`
 	B           *MatrixSpec `json:"b,omitempty"`
+	AHandle     string      `json:"a_handle,omitempty"`
+	BHandle     string      `json:"b_handle,omitempty"`
 	DeadlineSec float64     `json:"deadline_sec,omitempty"`
 	Threads     int         `json:"threads,omitempty"`
 	NumGPUs     int         `json:"num_gpus,omitempty"`
+}
+
+// MatrixRequest is the POST /v1/matrices body: either a spec to build
+// and store, or a stored handle plus a values seed to re-value (same
+// pattern, fresh deterministic values — the iterative-workload upload
+// that keeps cached plans warm).
+type MatrixRequest struct {
+	Spec       *MatrixSpec `json:"spec,omitempty"`
+	Handle     string      `json:"handle,omitempty"`
+	ValuesSeed int64       `json:"values_seed,omitempty"`
+}
+
+// MatrixResponse describes a stored matrix. StructureFP is the
+// sparsity-pattern fingerprint: two handles sharing it share cached
+// plans.
+type MatrixResponse struct {
+	Handle      string `json:"handle"`
+	Rows        int    `json:"rows"`
+	Cols        int    `json:"cols"`
+	Nnz         int64  `json:"nnz"`
+	Bytes       int64  `json:"bytes"`
+	StructureFP string `json:"structure_fingerprint"`
 }
 
 // MultiplyResponse reports a completed job.
@@ -113,16 +141,20 @@ type errorResponse struct {
 
 // Handler returns the server's HTTP surface:
 //
-//	GET  /healthz     — liveness (200 while the process serves)
-//	GET  /readyz      — readiness (503 once draining) + breaker states
-//	GET  /metricsz    — the flat metrics snapshot as JSON
-//	POST /v1/multiply — submit a job (429 + Retry-After when shed)
+//	GET    /healthz              — liveness (200 while the process serves)
+//	GET    /readyz               — readiness (503 once draining) + breaker states
+//	GET    /metricsz             — the flat metrics snapshot + cache hit rates as JSON
+//	POST   /v1/multiply          — submit a job (429 + Retry-After when shed)
+//	POST   /v1/matrices          — store a matrix (spec) or re-value a handle
+//	DELETE /v1/matrices/{handle} — drop a stored matrix (and orphaned plans)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metricsz", s.handleMetricsz)
 	mux.HandleFunc("/v1/multiply", s.handleMultiply)
+	mux.HandleFunc("/v1/matrices", s.handleMatrices)
+	mux.HandleFunc("/v1/matrices/", s.handleMatrixByHandle)
 	return mux
 }
 
@@ -152,7 +184,77 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Snapshot())
+	snap := s.Snapshot()
+	body := make(map[string]any, len(snap)+2)
+	for k, v := range snap {
+		body[k] = v
+	}
+	// Derived hit rates (0..1): counters alone force every dashboard to
+	// re-derive them, so the endpoint publishes the ratio too.
+	rate := func(hits, misses int64) float64 {
+		if hits+misses == 0 {
+			return 0
+		}
+		return float64(hits) / float64(hits+misses)
+	}
+	body["plan_cache_hit_rate"] = rate(snap[metrics.CounterPlanCacheHits], snap[metrics.CounterPlanCacheMisses])
+	body["matrix_store_hit_rate"] = rate(snap[metrics.CounterMatrixStoreHits], snap[metrics.CounterMatrixStoreMisses])
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleMatrices stores a matrix from a spec, or re-values a stored
+// handle when the body names one.
+func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req MatrixRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	var handle string
+	var err error
+	switch {
+	case req.Handle != "":
+		handle, err = s.RevalueMatrix(req.Handle, req.ValuesSeed)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			return
+		}
+	case req.Spec != nil:
+		var m *spgemm.Matrix
+		if m, err = req.Spec.Build(); err == nil {
+			handle, err = s.StoreMatrix(m)
+		}
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "need spec or handle"})
+		return
+	}
+	m, _ := s.Matrix(handle)
+	writeJSON(w, http.StatusOK, MatrixResponse{
+		Handle: handle, Rows: m.Rows, Cols: m.Cols, Nnz: m.Nnz(), Bytes: m.Bytes(),
+		StructureFP: fmt.Sprintf("%016x", spgemm.Fingerprint(m)),
+	})
+}
+
+// handleMatrixByHandle serves DELETE /v1/matrices/{handle}.
+func (s *Server) handleMatrixByHandle(w http.ResponseWriter, r *http.Request) {
+	handle := strings.TrimPrefix(r.URL.Path, "/v1/matrices/")
+	if r.Method != http.MethodDelete {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "DELETE only"})
+		return
+	}
+	if !s.DeleteMatrix(handle) {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: (&UnknownHandleError{Handle: handle}).Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": handle})
 }
 
 func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
@@ -165,24 +267,35 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
-	a, err := req.A.Build()
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
+	var a, b *spgemm.Matrix
+	var err error
+	if req.AHandle == "" {
+		if a, err = req.A.Build(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
 	}
-	b := a
-	if req.B != nil {
+	bHandle := req.BHandle
+	switch {
+	case req.B != nil:
 		if b, err = req.B.Build(); err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
+	case bHandle == "":
+		// B defaults to A, in whichever form A came.
+		b, bHandle = a, req.AHandle
 	}
 	opts := &spgemm.RunOptions{
 		DeadlineSec: req.DeadlineSec,
 		Threads:     req.Threads,
 		NumGPUs:     req.NumGPUs,
 	}
-	res, err := s.Submit(Job{Engine: req.Engine, A: a, B: b, Opts: opts})
+	res, err := s.Submit(Job{
+		Engine: req.Engine, A: a, B: b,
+		AHandle: req.AHandle, BHandle: bHandle,
+		Opts: opts,
+	})
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -206,7 +319,10 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	resp := errorResponse{Error: err.Error()}
 	var status int
 	var de *DrainingError
+	var uh *UnknownHandleError
 	switch {
+	case errors.As(err, &uh):
+		status = http.StatusNotFound
 	case errors.As(err, &de):
 		status = http.StatusServiceUnavailable
 	case faults.Shedding(err):

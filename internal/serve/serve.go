@@ -67,6 +67,13 @@ type Config struct {
 	// Base is the option set jobs inherit (device model, fault
 	// injection, threads); per-job options override it.
 	Base spgemm.RunOptions
+	// PlanCacheBytes bounds the shared structure-reuse plan cache
+	// every job inherits (0 means the spgemm default, negative
+	// disables the cache and makes every job run cold).
+	PlanCacheBytes int64
+	// MatrixStoreBytes bounds the content-addressed matrix store
+	// behind handle-based re-multiply (0 means 512 MiB).
+	MatrixStoreBytes int64
 	// DrainTimeout is the default Drain deadline (0 means 30s).
 	DrainTimeout time.Duration
 	// Metrics receives the serving counters (plus each job's
@@ -75,12 +82,17 @@ type Config struct {
 }
 
 // Job is one multiply request: an engine name from the registry and
-// the two operands. Opts may be nil to inherit the server's base
-// options wholesale.
+// the two operands — either as matrices or as handles into the
+// server's matrix store (a handle wins over its matrix field). Opts
+// may be nil to inherit the server's base options wholesale.
 type Job struct {
 	Engine string
 	A, B   *spgemm.Matrix
-	Opts   *spgemm.RunOptions
+	// AHandle and BHandle name stored matrices (see Server.StoreMatrix
+	// and POST /v1/matrices); an unknown handle rejects the job at
+	// admission.
+	AHandle, BHandle string
+	Opts             *spgemm.RunOptions
 }
 
 // Result is a finished (or abandoned) job. Err is also returned by
@@ -122,6 +134,8 @@ type Server struct {
 	queue   chan *task
 	wg      sync.WaitGroup
 	abandon atomic.Bool
+	plans   *spgemm.PlanCache
+	store   *matrixStore
 
 	mu            sync.Mutex
 	draining      bool
@@ -158,6 +172,10 @@ func New(cfg Config) *Server {
 		queue:    make(chan *task, cfg.QueueDepth),
 		breakers: map[string]*breaker{},
 	}
+	if cfg.PlanCacheBytes >= 0 {
+		s.plans = spgemm.NewPlanCache(cfg.PlanCacheBytes)
+	}
+	s.store = newMatrixStore(cfg.MatrixStoreBytes, m, s.plans)
 	s.wg.Add(cfg.MaxConcurrent)
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		go s.worker()
@@ -183,6 +201,20 @@ func (s *Server) Submit(job Job) (*Result, error) {
 // section, so a concurrent Drain cannot close the queue between the
 // draining check and the enqueue.
 func (s *Server) admit(job Job) (*task, error) {
+	if job.AHandle != "" {
+		m, ok := s.store.get(job.AHandle)
+		if !ok {
+			return nil, &UnknownHandleError{Handle: job.AHandle}
+		}
+		job.A = m
+	}
+	if job.BHandle != "" {
+		m, ok := s.store.get(job.BHandle)
+		if !ok {
+			return nil, &UnknownHandleError{Handle: job.BHandle}
+		}
+		job.B = m
+	}
 	if job.A == nil || job.B == nil {
 		return nil, fmt.Errorf("serve: nil input matrix")
 	}
@@ -276,6 +308,14 @@ func (s *Server) jobOptions(job Job) *spgemm.RunOptions {
 			o.DeadlineSec = s.cfg.Base.DeadlineSec
 		}
 	}
+	if o.PlanCache == nil && !o.Faults.Enabled() {
+		// Jobs share the server's plan cache: repeated patterns across
+		// requests hit warm plans. A job bringing its own cache keeps
+		// it. Fault-injected jobs stay cold unless they bring one — a
+		// warm run does less device work, which would silently shift
+		// when (or whether) the job's seeded faults fire.
+		o.PlanCache = s.plans
+	}
 	return &o
 }
 
@@ -362,7 +402,7 @@ func (s *Server) finish(t *task, res *Result) {
 		s.metrics.Add(metrics.CounterServeFailed, 1)
 	}
 	for k, v := range res.Snapshot {
-		if strings.HasPrefix(k, "recovery_") {
+		if strings.HasPrefix(k, "recovery_") || strings.HasPrefix(k, "plan_cache_") {
 			s.metrics.Add(k, v)
 		}
 	}
@@ -412,8 +452,48 @@ func (s *Server) Drain(timeout time.Duration) map[string]int64 {
 	return s.Snapshot()
 }
 
-// Snapshot returns the server's current flat metrics snapshot.
-func (s *Server) Snapshot() map[string]int64 { return s.metrics.Snapshot() }
+// Snapshot returns the server's current flat metrics snapshot,
+// including the authoritative plan-cache and matrix-store totals
+// (the cache's own counters, which also cover evictions and hits
+// recorded outside any job).
+func (s *Server) Snapshot() map[string]int64 {
+	snap := s.metrics.Snapshot()
+	if s.plans != nil {
+		hits, misses, evictions := s.plans.Counters()
+		snap[metrics.CounterPlanCacheHits] = hits
+		snap[metrics.CounterPlanCacheMisses] = misses
+		snap[metrics.CounterPlanCacheEvictions] = evictions
+	}
+	entries, bytes, hits, misses, evictions := s.store.stats()
+	snap["matrix_store_entries"] = int64(entries)
+	snap["matrix_store_bytes"] = bytes
+	snap[metrics.CounterMatrixStoreHits] = hits
+	snap[metrics.CounterMatrixStoreMisses] = misses
+	snap[metrics.CounterMatrixStoreEvictions] = evictions
+	return snap
+}
+
+// StoreMatrix uploads a matrix into the content-addressed store and
+// returns its handle. Identical content is idempotent.
+func (s *Server) StoreMatrix(m *spgemm.Matrix) (string, error) { return s.store.put(m) }
+
+// Matrix resolves a stored handle.
+func (s *Server) Matrix(handle string) (*spgemm.Matrix, bool) { return s.store.get(handle) }
+
+// RevalueMatrix stores a fresh-valued copy of a stored pattern (same
+// structure, deterministic new values from seed) and returns the new
+// handle; the pattern's cached plans remain valid for it.
+func (s *Server) RevalueMatrix(handle string, seed int64) (string, error) {
+	return s.store.revalue(handle, seed)
+}
+
+// DeleteMatrix removes a stored handle; if it carried the last copy
+// of its sparsity pattern, the pattern's plan-cache entries go with
+// it. It reports whether the handle existed.
+func (s *Server) DeleteMatrix(handle string) bool { return s.store.delete(handle) }
+
+// PlanCache exposes the server's shared plan cache (nil when disabled).
+func (s *Server) PlanCache() *spgemm.PlanCache { return s.plans }
 
 // Draining reports whether Drain has begun (readiness turns false).
 func (s *Server) Draining() bool {

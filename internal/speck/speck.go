@@ -18,9 +18,6 @@
 package speck
 
 import (
-	"fmt"
-	"math/bits"
-
 	"repro/internal/accum"
 	"repro/internal/csr"
 	"repro/internal/gpusim"
@@ -120,127 +117,15 @@ const maxConcurrentRows = 80
 
 // Compute multiplies an A row panel by a B column panel (B given with
 // panel-local column ids) and returns the exact chunk product together
-// with phase costs under the model.
+// with phase costs under the model. It is exactly SymbolicCompute
+// followed by Numeric — the split the structure-reuse fast path caches
+// across multiplies with an unchanged sparsity pattern.
 func Compute(a, b *csr.Matrix, cm CostModel) (*Result, error) {
-	if a.Cols != b.Rows {
-		return nil, fmt.Errorf("speck: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	sym, err := SymbolicCompute(a, b, cm)
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{
-		RowFlops:    csr.RowFlops(a, b),
-		UpperBounds: csr.RowUpperBounds(a, b),
-	}
-
-	// Symbolic phase: exact output row sizes. (spECK first bins rows by
-	// their upper bounds for the symbolic kernels; the binning only
-	// affects load balance, so the simulation folds symbolic cost into
-	// one factor and runs the counting directly.)
-	width := b.Cols
-	rowNnz := make([]int64, a.Rows)
-	hash := accum.NewHash(64)
-	var dense *accum.Dense
-	if width > 0 {
-		dense = accum.NewDense(width)
-	}
-	for r := 0; r < a.Rows; r++ {
-		if res.UpperBounds[r] == 0 {
-			continue
-		}
-		ac, _ := a.Row(r)
-		for _, k := range ac {
-			bc, _ := b.Row(int(k))
-			for _, col := range bc {
-				hash.AddSymbolic(col)
-			}
-		}
-		rowNnz[r] = int64(hash.FlushSymbolic())
-	}
-
-	// Host re-grouping for the numeric phase (the paper re-assigns rows
-	// once symbolic sizes are known): bin rows by (kind, size class),
-	// where kind is dense accumulation for rows whose flops-per-output
-	// ratio is high enough to amortize the dense array.
-	type key struct {
-		kind GroupKind
-		sc   int
-	}
-	bins := map[key]*Group{}
-	var order []key // deterministic group order: first appearance
-	for r := 0; r < a.Rows; r++ {
-		if res.UpperBounds[r] == 0 {
-			continue // empty output row: no kernel work
-		}
-		kind := HashGroup
-		if rowNnz[r] > 0 && res.RowFlops[r] >= denseCRThreshold*rowNnz[r] {
-			kind = DenseGroup
-		}
-		sc := bits.Len64(uint64(res.UpperBounds[r]))
-		k := key{kind, sc}
-		g, ok := bins[k]
-		if !ok {
-			g = &Group{Kind: kind, SizeClass: sc}
-			bins[k] = g
-			order = append(order, k)
-		}
-		g.Rows = append(g.Rows, int32(r))
-		g.Flops += res.RowFlops[r]
-		res.Flops += res.RowFlops[r]
-		if kind == DenseGroup {
-			res.DenseFlops += res.RowFlops[r]
-		} else {
-			res.HashFlops += res.RowFlops[r]
-		}
-	}
-	for _, k := range order {
-		res.Groups = append(res.Groups, *bins[k])
-	}
-
-	// Allocation: exact offsets from the symbolic counts.
-	c := &csr.Matrix{Rows: a.Rows, Cols: width, RowOffsets: make([]int64, a.Rows+1)}
-	for r := 0; r < a.Rows; r++ {
-		c.RowOffsets[r+1] = c.RowOffsets[r] + rowNnz[r]
-	}
-	nnz := c.RowOffsets[a.Rows]
-	c.ColIDs = make([]int32, nnz)
-	c.Data = make([]float64, nnz)
-
-	// Numeric phase: exact values, per group, written in place.
-	for _, g := range res.Groups {
-		acc := accum.Accumulator(hash)
-		if g.Kind == DenseGroup {
-			acc = dense
-		}
-		for _, r := range g.Rows {
-			ac, av := a.Row(int(r))
-			for p := range ac {
-				bc, bv := b.Row(int(ac[p]))
-				for q := range bc {
-					acc.Add(bc[q], av[p]*bv[q])
-				}
-			}
-			off, end := c.RowOffsets[r], c.RowOffsets[r+1]
-			acc.Flush(c.ColIDs[off:off:end], c.Data[off:off:end])
-		}
-	}
-	res.C = c
-
-	// Cost model.
-	var numeric float64
-	if cm.HashRate > 0 {
-		numeric += float64(res.HashFlops) / cm.HashRate
-	}
-	if cm.DenseRate > 0 {
-		numeric += float64(res.DenseFlops) / cm.DenseRate
-	}
-	res.NumericSec = numeric
-	res.SymbolicSec = numeric * cm.SymbolicFactor
-	res.AnalysisSec = numeric * cm.AnalysisFactor
-
-	// Transfer and workspace sizes.
-	res.RowInfoBytes = int64(a.Rows) * 16 // flops + upper bound per row
-	res.NnzInfoBytes = int64(a.Rows) * 8  // output row size per row
-	res.OutputBytes = c.Bytes()
-	res.WorkspaceBytes = workspaceBytes(res.UpperBounds, width)
-	return res, nil
+	return Numeric(sym, a, b)
 }
 
 // ClassifyFlops splits the flops of A·B into the hash-row and

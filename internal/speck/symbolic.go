@@ -1,0 +1,249 @@
+package speck
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/accum"
+	"repro/internal/csr"
+)
+
+// Symbolic is the values-independent half of a chunk multiplication:
+// everything Compute derives from the sparsity patterns of A and B —
+// row analysis, host grouping, the exact output structure (row offsets
+// and column ids), the per-phase simulated durations and the transfer
+// and workspace sizes. It is the unit the out-of-core plan cache
+// stores: a later multiply whose operands carry the same pattern with
+// fresh values re-runs only Numeric against it.
+type Symbolic struct {
+	// Rows, ACols and Cols record the operand shape the plan was built
+	// for (A is Rows x ACols, B is ACols x Cols); Numeric validates
+	// against them.
+	Rows, ACols, Cols int
+
+	// RowFlops and UpperBounds are the row-analysis outputs.
+	RowFlops    []int64
+	UpperBounds []int64
+	// Groups is the host-side row grouping for the numeric kernels.
+	Groups []Group
+	// Flops is the total flop count; HashFlops and DenseFlops split it
+	// by accumulator kind.
+	Flops, HashFlops, DenseFlops int64
+
+	// AnalysisSec, SymbolicSec and NumericSec are the simulated kernel
+	// durations of the three phases.
+	AnalysisSec, SymbolicSec, NumericSec float64
+
+	// RowInfoBytes, NnzInfoBytes, OutputBytes and WorkspaceBytes are
+	// the transfer payloads and device workspace of the chunk.
+	RowInfoBytes, NnzInfoBytes, OutputBytes, WorkspaceBytes int64
+
+	// RowOffsets and ColIDs are the exact output structure. Numeric
+	// shares them with every product it emits; treat them as read-only.
+	RowOffsets []int64
+	ColIDs     []int32
+}
+
+// Bytes reports the memory the symbolic result retains, for cache
+// accounting: the two structure arrays dominate, the row-analysis
+// arrays follow.
+func (s *Symbolic) Bytes() int64 {
+	return int64(len(s.RowOffsets))*8 + int64(len(s.ColIDs))*4 +
+		int64(len(s.RowFlops)+len(s.UpperBounds))*8 + int64(len(s.Groups))*48
+}
+
+// SymbolicCompute runs the values-independent pipeline — row analysis,
+// symbolic structure (exact output row sizes and column ids) and host
+// grouping — without touching any numeric value. Compute is exactly
+// SymbolicCompute followed by Numeric, so a cached Symbolic replays
+// into a byte-identical product.
+func SymbolicCompute(a, b *csr.Matrix, cm CostModel) (*Symbolic, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("speck: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	sym := &Symbolic{
+		Rows:        a.Rows,
+		ACols:       a.Cols,
+		Cols:        b.Cols,
+		RowFlops:    csr.RowFlops(a, b),
+		UpperBounds: csr.RowUpperBounds(a, b),
+	}
+
+	// Symbolic phase: exact output structure. The hash accumulator's
+	// Flush emits each row's distinct columns sorted — the same order
+	// the numeric accumulators emit — so the structure recorded here is
+	// bit-for-bit the structure a cold multiply produces.
+	width := b.Cols
+	rowNnz := make([]int64, a.Rows)
+	hash := accum.NewHash(64)
+	var colBuf []int32
+	var valBuf []float64
+	colIDs := make([]int32, 0, a.Rows)
+	for r := 0; r < a.Rows; r++ {
+		if sym.UpperBounds[r] == 0 {
+			continue
+		}
+		ac, _ := a.Row(r)
+		for _, k := range ac {
+			bc, _ := b.Row(int(k))
+			for _, col := range bc {
+				hash.AddSymbolic(col)
+			}
+		}
+		colBuf, valBuf = hash.Flush(colBuf[:0], valBuf[:0])
+		rowNnz[r] = int64(len(colBuf))
+		colIDs = append(colIDs, colBuf...)
+	}
+	sym.ColIDs = colIDs
+
+	// Host re-grouping for the numeric phase: bin rows by (kind, size
+	// class), where kind is dense accumulation for rows whose
+	// flops-per-output ratio amortizes the dense array.
+	type key struct {
+		kind GroupKind
+		sc   int
+	}
+	bins := map[key]*Group{}
+	var order []key // deterministic group order: first appearance
+	for r := 0; r < a.Rows; r++ {
+		if sym.UpperBounds[r] == 0 {
+			continue // empty output row: no kernel work
+		}
+		kind := HashGroup
+		if rowNnz[r] > 0 && sym.RowFlops[r] >= denseCRThreshold*rowNnz[r] {
+			kind = DenseGroup
+		}
+		sc := bits.Len64(uint64(sym.UpperBounds[r]))
+		k := key{kind, sc}
+		g, ok := bins[k]
+		if !ok {
+			g = &Group{Kind: kind, SizeClass: sc}
+			bins[k] = g
+			order = append(order, k)
+		}
+		g.Rows = append(g.Rows, int32(r))
+		g.Flops += sym.RowFlops[r]
+		sym.Flops += sym.RowFlops[r]
+		if kind == DenseGroup {
+			sym.DenseFlops += sym.RowFlops[r]
+		} else {
+			sym.HashFlops += sym.RowFlops[r]
+		}
+	}
+	for _, k := range order {
+		sym.Groups = append(sym.Groups, *bins[k])
+	}
+
+	// Exact offsets from the symbolic counts.
+	sym.RowOffsets = make([]int64, a.Rows+1)
+	for r := 0; r < a.Rows; r++ {
+		sym.RowOffsets[r+1] = sym.RowOffsets[r] + rowNnz[r]
+	}
+
+	// Cost model.
+	var numeric float64
+	if cm.HashRate > 0 {
+		numeric += float64(sym.HashFlops) / cm.HashRate
+	}
+	if cm.DenseRate > 0 {
+		numeric += float64(sym.DenseFlops) / cm.DenseRate
+	}
+	sym.NumericSec = numeric
+	sym.SymbolicSec = numeric * cm.SymbolicFactor
+	sym.AnalysisSec = numeric * cm.AnalysisFactor
+
+	// Transfer and workspace sizes.
+	sym.RowInfoBytes = int64(a.Rows) * 16 // flops + upper bound per row
+	sym.NnzInfoBytes = int64(a.Rows) * 8  // output row size per row
+	nnz := sym.RowOffsets[a.Rows]
+	sym.OutputBytes = int64(a.Rows+1)*8 + nnz*4 + nnz*8
+	sym.WorkspaceBytes = workspaceBytes(sym.UpperBounds, width)
+	return sym, nil
+}
+
+// Numeric re-runs only value accumulation against a pre-computed
+// symbolic structure: for each row, the intermediate products scatter
+// into a dense scratch array in the same order the cold accumulators
+// apply them (so every float64 sum associates identically), then
+// gather out through the cached column ids. The product shares the
+// symbolic structure arrays and allocates only its value array.
+//
+// The operands must carry the same sparsity pattern the symbolic
+// result was computed from; Numeric checks shape and non-zero layout
+// cheaply (dimensions and output fit), while pattern equality is the
+// caller's contract — the plan cache enforces it by fingerprint.
+func Numeric(sym *Symbolic, a, b *csr.Matrix) (*Result, error) {
+	if a.Rows != sym.Rows || a.Cols != sym.ACols || b.Rows != sym.ACols || b.Cols != sym.Cols {
+		return nil, fmt.Errorf("speck: numeric shape %dx%d · %dx%d does not match plan %dx%d · %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, sym.Rows, sym.ACols, sym.ACols, sym.Cols)
+	}
+	c := &csr.Matrix{
+		Rows:       sym.Rows,
+		Cols:       sym.Cols,
+		RowOffsets: sym.RowOffsets,
+		ColIDs:     sym.ColIDs,
+		Data:       make([]float64, sym.RowOffsets[sym.Rows]),
+	}
+	var scratch []float64
+	var stamp []uint32
+	if sym.Cols > 0 {
+		scratch = make([]float64, sym.Cols)
+		stamp = make([]uint32, sym.Cols)
+	}
+	// Generation stamps give assign-on-first-touch semantics, exactly
+	// like the cold accumulators (hash insert, dense stamp): without
+	// them a lone -0.0 product would come out as +0.0 (0 + -0.0) and
+	// break bit-identity with the cold path.
+	gen := uint32(0)
+	for r := 0; r < sym.Rows; r++ {
+		off, end := sym.RowOffsets[r], sym.RowOffsets[r+1]
+		if off == end {
+			continue
+		}
+		gen++
+		if gen == 0 { // wrap-around: clear and restart
+			for i := range stamp {
+				stamp[i] = 0
+			}
+			gen = 1
+		}
+		ac, av := a.Row(r)
+		for p := range ac {
+			bc, bv := b.Row(int(ac[p]))
+			for q := range bc {
+				col := bc[q]
+				if stamp[col] != gen {
+					stamp[col] = gen
+					scratch[col] = av[p] * bv[q]
+				} else {
+					scratch[col] += av[p] * bv[q]
+				}
+			}
+		}
+		for i := off; i < end; i++ {
+			c.Data[i] = scratch[sym.ColIDs[i]]
+		}
+	}
+	return resultFrom(sym, c), nil
+}
+
+// resultFrom assembles the full Result a chunk consumer expects from a
+// symbolic plan and its computed product.
+func resultFrom(sym *Symbolic, c *csr.Matrix) *Result {
+	return &Result{
+		C:              c,
+		RowFlops:       sym.RowFlops,
+		UpperBounds:    sym.UpperBounds,
+		Groups:         sym.Groups,
+		Flops:          sym.Flops,
+		HashFlops:      sym.HashFlops,
+		DenseFlops:     sym.DenseFlops,
+		AnalysisSec:    sym.AnalysisSec,
+		SymbolicSec:    sym.SymbolicSec,
+		NumericSec:     sym.NumericSec,
+		RowInfoBytes:   sym.RowInfoBytes,
+		NnzInfoBytes:   sym.NnzInfoBytes,
+		OutputBytes:    sym.OutputBytes,
+		WorkspaceBytes: sym.WorkspaceBytes,
+	}
+}

@@ -1,0 +1,155 @@
+package speck
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/csr"
+	"repro/internal/matgen"
+)
+
+// reseedValues returns a copy of m with the same sparsity pattern and
+// fresh deterministic values — the iterative-workload shape (AMG
+// setup, contraction iterations) the structure-reuse fast path serves.
+func reseedValues(m *csr.Matrix, seed int64) *csr.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	out := &csr.Matrix{
+		Rows:       m.Rows,
+		Cols:       m.Cols,
+		RowOffsets: m.RowOffsets,
+		ColIDs:     m.ColIDs,
+		Data:       make([]float64, len(m.Data)),
+	}
+	for i := range out.Data {
+		out.Data[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+// bitIdentical asserts two matrices match structure-for-structure and
+// bit-for-bit in their values (== would treat -0.0 and +0.0 as equal
+// and NaN as unequal; the fast path promises stronger).
+func bitIdentical(t *testing.T, cold, warm *csr.Matrix) {
+	t.Helper()
+	if cold.Rows != warm.Rows || cold.Cols != warm.Cols {
+		t.Fatalf("dims %dx%d != %dx%d", cold.Rows, cold.Cols, warm.Rows, warm.Cols)
+	}
+	if len(cold.RowOffsets) != len(warm.RowOffsets) || len(cold.ColIDs) != len(warm.ColIDs) || len(cold.Data) != len(warm.Data) {
+		t.Fatalf("array lengths differ: offsets %d/%d cols %d/%d data %d/%d",
+			len(cold.RowOffsets), len(warm.RowOffsets), len(cold.ColIDs), len(warm.ColIDs), len(cold.Data), len(warm.Data))
+	}
+	for i := range cold.RowOffsets {
+		if cold.RowOffsets[i] != warm.RowOffsets[i] {
+			t.Fatalf("row offset %d: %d != %d", i, cold.RowOffsets[i], warm.RowOffsets[i])
+		}
+	}
+	for i := range cold.ColIDs {
+		if cold.ColIDs[i] != warm.ColIDs[i] {
+			t.Fatalf("col id %d: %d != %d", i, cold.ColIDs[i], warm.ColIDs[i])
+		}
+	}
+	for i := range cold.Data {
+		if math.Float64bits(cold.Data[i]) != math.Float64bits(warm.Data[i]) {
+			t.Fatalf("value %d: %x != %x (%v vs %v)", i,
+				math.Float64bits(cold.Data[i]), math.Float64bits(warm.Data[i]), cold.Data[i], warm.Data[i])
+		}
+	}
+}
+
+// TestNumericByteIdenticalToCold is the fast path's core contract: a
+// warm numeric-only re-multiply against a cached symbolic plan is
+// bit-for-bit the product a cold Compute of the same inputs returns.
+func TestNumericByteIdenticalToCold(t *testing.T) {
+	mats := []*csr.Matrix{
+		matgen.RMAT(9, 8, 0.57, 0.19, 0.19, 42),
+		matgen.Band(400, 6, 43),
+		matgen.ER(120, 120, 0.05, 44),
+	}
+	for _, a := range mats {
+		sym, err := SymbolicCompute(a, a, model())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for it := int64(0); it < 3; it++ {
+			fresh := reseedValues(a, 100+it)
+			cold, err := Compute(fresh, fresh, model())
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, err := Numeric(sym, fresh, fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitIdentical(t, cold.C, warm.C)
+		}
+	}
+}
+
+// TestNumericSharesStructure pins the zero-copy contract: warm
+// products share the plan's structure arrays and only allocate values.
+func TestNumericSharesStructure(t *testing.T) {
+	a := matgen.RMAT(8, 8, 0.57, 0.19, 0.19, 45)
+	sym, err := SymbolicCompute(a, a, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Numeric(sym, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sym.ColIDs) > 0 && &res.C.ColIDs[0] != &sym.ColIDs[0] {
+		t.Fatal("warm product does not share the plan's ColIDs array")
+	}
+	if &res.C.RowOffsets[0] != &sym.RowOffsets[0] {
+		t.Fatal("warm product does not share the plan's RowOffsets array")
+	}
+}
+
+// TestNumericShapeMismatch rejects operands that do not match the plan.
+func TestNumericShapeMismatch(t *testing.T) {
+	a := matgen.ER(30, 30, 0.1, 46)
+	b := matgen.ER(20, 20, 0.1, 47)
+	sym, err := SymbolicCompute(a, a, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Numeric(sym, b, b); err == nil {
+		t.Fatal("shape mismatch not rejected")
+	}
+}
+
+// TestSymbolicMetadataMatchesCompute pins that the split did not drift
+// from the fused pipeline: every values-independent field of a cold
+// Result equals the Symbolic it was derived from.
+func TestSymbolicMetadataMatchesCompute(t *testing.T) {
+	a := matgen.RMAT(9, 8, 0.57, 0.19, 0.19, 48)
+	sym, err := SymbolicCompute(a, a, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compute(a, a, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Flops != res.Flops || sym.HashFlops != res.HashFlops || sym.DenseFlops != res.DenseFlops {
+		t.Fatalf("flops drift: sym (%d,%d,%d) vs compute (%d,%d,%d)",
+			sym.Flops, sym.HashFlops, sym.DenseFlops, res.Flops, res.HashFlops, res.DenseFlops)
+	}
+	if sym.NumericSec != res.NumericSec || sym.SymbolicSec != res.SymbolicSec || sym.AnalysisSec != res.AnalysisSec {
+		t.Fatal("phase costs drift between Symbolic and Compute")
+	}
+	if sym.OutputBytes != res.OutputBytes || sym.WorkspaceBytes != res.WorkspaceBytes {
+		t.Fatalf("size drift: output %d/%d workspace %d/%d",
+			sym.OutputBytes, res.OutputBytes, sym.WorkspaceBytes, res.WorkspaceBytes)
+	}
+	if sym.OutputBytes != res.C.Bytes() {
+		t.Fatalf("symbolic OutputBytes %d != materialized product bytes %d", sym.OutputBytes, res.C.Bytes())
+	}
+	if len(sym.Groups) != len(res.Groups) {
+		t.Fatalf("group count drift: %d != %d", len(sym.Groups), len(res.Groups))
+	}
+	if sym.Bytes() <= 0 {
+		t.Fatal("Symbolic.Bytes must be positive for cache accounting")
+	}
+}

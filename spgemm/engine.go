@@ -61,6 +61,15 @@ type RunOptions struct {
 	// Metrics, when non-nil, receives every engine's spans and
 	// counters; export it with WriteChromeTrace or Snapshot.
 	Metrics *Collector
+	// PlanCache, when non-nil, enables the structure-reuse fast path:
+	// symbolic results, chunk plans and device panel residency are
+	// cached across runs keyed by the operands' structural
+	// fingerprints, so repeated multiplies on an unchanged sparsity
+	// pattern skip the symbolic phase and re-run only the numeric
+	// accumulation. Share one cache across jobs to get warm hits; nil
+	// keeps every run cold (byte-identical to a build without the
+	// cache). DynamicAlloc device runs never consult it.
+	PlanCache *PlanCache
 	// Faults configures deterministic fault injection on the simulated
 	// devices of the gpu, gpu-sync, hybrid and multigpu engines. The
 	// zero value is fault-free.
@@ -98,13 +107,22 @@ func (o RunOptions) device() DeviceConfig {
 	return V100()
 }
 
+// plan resolves the chunk grid for a's and b's structures, through
+// the plan cache's memoized planner when one is configured.
+func (o RunOptions) plan(a, b *Matrix) (OutOfCoreOptions, error) {
+	if o.PlanCache != nil {
+		return o.PlanCache.plan(a, b, o.device())
+	}
+	return Plan(a, b, o.device())
+}
+
 // coreOptions resolves the out-of-core options: an explicit grid is
 // kept, a zero grid is planned from the device memory. The engine name
 // (gpu vs gpu-sync) decides the pipeline mode either way.
 func (o RunOptions) coreOptions(a, b *Matrix, async bool) (OutOfCoreOptions, error) {
 	opts := o.Core
 	if opts.RowPanels == 0 || opts.ColPanels == 0 {
-		planned, err := Plan(a, b, o.device())
+		planned, err := o.plan(a, b)
 		if err != nil {
 			return OutOfCoreOptions{}, err
 		}
@@ -115,6 +133,9 @@ func (o RunOptions) coreOptions(a, b *Matrix, async bool) (OutOfCoreOptions, err
 	opts.Faults = o.Faults
 	opts.ChunkRetries = o.ChunkRetries
 	opts.DeadlineSec = o.DeadlineSec
+	if pc := o.PlanCache.coreCache(); pc != nil {
+		opts.PlanCache = pc // an explicitly set Core.PlanCache is kept otherwise
+	}
 	return opts, nil
 }
 
@@ -230,6 +251,11 @@ type Cost struct {
 // the device at any grid comes back as an error wrapping ErrOOM, so an
 // admission controller can reject it up front instead of discovering
 // mid-run.
+//
+// When opts is non-nil and the grid had to be planned here, the
+// planned grid is written back into opts.Core, so running the job
+// with the same options reuses it instead of planning a second time
+// (the admission path plans each job exactly once).
 func EstimateCost(engineName string, a, b *Matrix, opts *RunOptions) (Cost, error) {
 	if _, ok := registry[engineName]; !ok {
 		return Cost{}, fmt.Errorf("spgemm: unknown engine %q (have %v)", engineName, Engines())
@@ -248,11 +274,18 @@ func EstimateCost(engineName string, a, b *Matrix, opts *RunOptions) (Cost, erro
 	cost.ArenaBytes = o.device().MemoryBytes
 	grid := o.Core
 	if grid.RowPanels == 0 || grid.ColPanels == 0 {
-		planned, err := Plan(a, b, o.device())
+		planned, err := o.plan(a, b)
 		if err != nil {
 			return Cost{}, fmt.Errorf("spgemm: job does not fit the device: %w: %w", ErrOOM, err)
 		}
 		grid = planned
+		if opts != nil {
+			// Thread the plan through to the engine: coreOptions sees a
+			// non-zero grid and skips its own Plan call. The engine still
+			// overrides the pipeline mode (Async) by name, exactly as it
+			// does for a user-provided grid.
+			opts.Core = planned
+		}
 	}
 	cost.Chunks = grid.RowPanels * grid.ColPanels
 	return cost, nil
@@ -315,7 +348,11 @@ func init() {
 		describe: "real multi-core two-phase SpGEMM with per-row accumulator selection (Nagasaka et al.)",
 		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
 			c, st, err := cpuEngine(a, b, func() (*Matrix, error) {
-				return cpuspgemm.Multiply(a, b, cpuspgemm.Options{Threads: o.Threads, Metrics: o.Metrics, Cancel: o.wallDeadline()})
+				copts := cpuspgemm.Options{Threads: o.Threads, Metrics: o.Metrics, Cancel: o.wallDeadline()}
+				if o.PlanCache != nil {
+					return o.PlanCache.multiplyCPU(a, b, copts)
+				}
+				return cpuspgemm.Multiply(a, b, copts)
 			})
 			if errors.Is(err, cpuspgemm.ErrCanceled) {
 				err = fmt.Errorf("spgemm: cpu engine: %w: %w", ErrDeadline, err)
@@ -444,7 +481,7 @@ func init() {
 		device:   true,
 		describe: "out-of-core GPU with automatic chunk-grid planning and refinement",
 		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
-			c, st, err := runAuto(a, b, o.device(), o.Metrics)
+			c, st, err := runAuto(a, b, o.device(), o.Metrics, o.PlanCache)
 			if err != nil {
 				return nil, nil, err
 			}

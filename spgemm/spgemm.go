@@ -266,17 +266,24 @@ func MultiplySUMMA(a, b *Matrix, cfg SUMMAConfig) (*Matrix, SUMMAStats, error) {
 // out not to fit the device arena — the situation the paper notes when
 // "certain chunks are extremely dense and require large allocation".
 func MultiplyAuto(a, b *Matrix, cfg DeviceConfig) (*Matrix, Stats, error) {
-	return runAuto(a, b, cfg, nil)
+	return runAuto(a, b, cfg, nil, nil)
 }
 
-// runAuto is MultiplyAuto with an optional metrics sink (the "auto"
-// registry engine threads its collector through here).
-func runAuto(a, b *Matrix, cfg DeviceConfig, m *Collector) (*Matrix, Stats, error) {
-	opts, err := Plan(a, b, cfg)
+// runAuto is MultiplyAuto with an optional metrics sink and plan
+// cache (the "auto" registry engine threads both through here).
+func runAuto(a, b *Matrix, cfg DeviceConfig, m *Collector, pc *PlanCache) (*Matrix, Stats, error) {
+	var opts OutOfCoreOptions
+	var err error
+	if pc != nil {
+		opts, err = pc.plan(a, b, cfg)
+	} else {
+		opts, err = Plan(a, b, cfg)
+	}
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	opts.Metrics = m
+	opts.PlanCache = pc.coreCache()
 	var lastErr error
 	for attempt := 0; attempt < 4; attempt++ {
 		c, st, err := MultiplyOutOfCore(a, b, cfg, opts)
