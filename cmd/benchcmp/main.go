@@ -5,16 +5,23 @@
 // Usage:
 //
 //	benchcmp -baseline BENCH_iter.json -current new.json \
-//	    -tol 0.25 -skip cpu.cold_seconds,threads -min cpu.speedup=2
+//	    -tol 0.25 -skip cpu.cold_seconds,threads -min cpu.speedup=2 \
+//	    -max cpu_estimated.cold_over_warm=4
 //
 // Both files are flattened to dotted numeric paths
 // (engines.hash.seconds, gpu.speedup, ...). Every numeric field
 // present in both files and not matched by a -skip substring must stay
 // within the relative tolerance of the baseline value. Wall-clock
 // fields are machine-dependent and belong in -skip; ratios and the
-// simulated-device numbers are stable enough to gate on. -min adds
-// absolute floors (repeatable) that hold regardless of the baseline,
-// e.g. the warm-path speedup acceptance target.
+// simulated-device numbers are stable enough to gate on. -min and -max
+// add absolute floors and ceilings (repeatable) that hold regardless
+// of the baseline, e.g. the warm-path speedup acceptance target.
+//
+// Forward compatibility: a baseline field missing from the current
+// report is a failure only when no -skip substring matches it, and
+// fields only in the current report are noted, never failed — so a
+// newer benchmark binary can grow fields ahead of the committed
+// baseline, and an older baseline can retire fields behind -skip.
 package main
 
 import (
@@ -28,7 +35,7 @@ import (
 	"strings"
 )
 
-// minFlags collects repeated -min path=value assertions.
+// minFlags collects repeated -min/-max path=value assertions.
 type minFlags map[string]float64
 
 func (m minFlags) String() string { return fmt.Sprint(map[string]float64(m)) }
@@ -53,6 +60,8 @@ func main() {
 	skip := flag.String("skip", "", "comma-separated path substrings excluded from the relative comparison")
 	mins := minFlags{}
 	flag.Var(mins, "min", "absolute floor assertion path=value (repeatable)")
+	maxes := minFlags{}
+	flag.Var(maxes, "max", "absolute ceiling assertion path=value (repeatable)")
 	flag.Parse()
 	if *baseFile == "" || *curFile == "" {
 		fail(fmt.Errorf("-baseline and -current are required"))
@@ -86,12 +95,14 @@ func main() {
 	compared := 0
 	for _, path := range sortedKeys(base) {
 		bv := base[path]
+		// Skips apply before the missing-field check, so a retired
+		// baseline field behind -skip does not fail newer binaries.
+		if skipped(path) {
+			continue
+		}
 		cv, ok := cur[path]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: missing from current report (baseline %.6g)", path, bv))
-			continue
-		}
-		if skipped(path) {
 			continue
 		}
 		compared++
@@ -113,6 +124,16 @@ func main() {
 			failures = append(failures, fmt.Sprintf("%s: -min floor %.6g but field missing from current report", path, floor))
 		} else if cv < floor {
 			failures = append(failures, fmt.Sprintf("%s: %.6g below floor %.6g", path, cv, floor))
+		}
+	}
+	for _, path := range sortedKeys(maxes) {
+		ceil := maxes[path]
+		cv, ok := cur[path]
+		compared++
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: -max ceiling %.6g but field missing from current report", path, ceil))
+		} else if cv > ceil {
+			failures = append(failures, fmt.Sprintf("%s: %.6g above ceiling %.6g", path, cv, ceil))
 		}
 	}
 

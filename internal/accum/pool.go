@@ -22,6 +22,8 @@ var (
 	hashPool  = sync.Pool{New: func() any { poolNews.Add(1); return NewHash(16) }}
 	densePool = sync.Pool{New: func() any { poolNews.Add(1); return NewDense(0) }}
 	sortPool  = sync.Pool{New: func() any { poolNews.Add(1); return NewSort(16) }}
+	listPool  = sync.Pool{New: func() any { poolNews.Add(1); return NewList(16) }}
+	bmapPool  = sync.Pool{New: func() any { poolNews.Add(1); return NewBitmap(0) }}
 
 	// poolGets counts Get* calls and poolNews the pool misses that fell
 	// through to a fresh allocation, so the observability layer can
@@ -83,6 +85,36 @@ func PutSort(s *Sort) {
 	sortPool.Put(s)
 }
 
+// GetList returns an empty pooled list accumulator with room for at
+// least capacity distinct columns before growing.
+func GetList(capacity int) *List {
+	poolGets.Add(1)
+	l := listPool.Get().(*List)
+	l.Grow(capacity)
+	return l
+}
+
+// PutList resets l and returns it to the pool.
+func PutList(l *List) {
+	l.Reset()
+	listPool.Put(l)
+}
+
+// GetBitmap returns an empty pooled bitmap accumulator covering
+// columns [0, width).
+func GetBitmap(width int) *Bitmap {
+	poolGets.Add(1)
+	b := bmapPool.Get().(*Bitmap)
+	b.Grow(width)
+	return b
+}
+
+// PutBitmap resets b and returns it to the pool.
+func PutBitmap(b *Bitmap) {
+	b.Reset()
+	bmapPool.Put(b)
+}
+
 // Put returns any accumulator obtained from a Get function to its
 // pool. Unknown implementations are dropped.
 func Put(a Accumulator) {
@@ -93,6 +125,10 @@ func Put(a Accumulator) {
 		PutDense(acc)
 	case *Sort:
 		PutSort(acc)
+	case *List:
+		PutList(acc)
+	case *Bitmap:
+		PutBitmap(acc)
 	}
 }
 

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/partition"
+	"repro/internal/speck"
+)
+
+// TestPlanCacheEstimatedWarmByteIdentical runs the out-of-core engine
+// cold in estimation mode, then warm in exact mode on fresh values:
+// the cached symbolic structure is exact regardless of provenance, so
+// the warm exact replay must match an uncached exact cold run bit for
+// bit.
+func TestPlanCacheEstimatedWarmByteIdentical(t *testing.T) {
+	a := matgen.RMAT(9, 8, 0.57, 0.19, 0.19, 27)
+	pc := NewPlanCache(0)
+	est := Options{RowPanels: 2, ColPanels: 3, PlanCache: pc, Symbolic: speck.ModeEstimate}
+	if _, _, err := Run(a, a, testCfg(64<<20), est); err != nil {
+		t.Fatal(err)
+	}
+	fresh := withFreshValues(a, 28)
+	cold, _, err := Run(fresh, fresh, testCfg(64<<20), Options{RowPanels: 2, ColPanels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, _, err := Run(fresh, fresh, testCfg(64<<20), Options{RowPanels: 2, ColPanels: 3, PlanCache: pc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, cold, warm)
+	hits, misses, _ := pc.Counters()
+	if misses != 1 || hits != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	// The warm run replayed the cached plans; nothing re-ran cold, so
+	// no provenance upgrade happened.
+	if pc.Upgrades() != 0 {
+		t.Fatalf("Upgrades = %d, want 0", pc.Upgrades())
+	}
+}
+
+// TestPlanCacheEstimatedCheaperSymbolic pins the point of the elision
+// on the simulated device: a cold estimation-mode run spends less
+// simulated symbolic time than the exact cold run, at an identical
+// product.
+func TestPlanCacheEstimatedCheaperSymbolic(t *testing.T) {
+	a := matgen.RMAT(9, 8, 0.57, 0.19, 0.19, 29)
+	exact, exactSt, err := Run(a, a, testCfg(64<<20), Options{RowPanels: 2, ColPanels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, estSt, err := Run(a, a, testCfg(64<<20), Options{RowPanels: 2, ColPanels: 2, Symbolic: speck.ModeEstimate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, exact, est)
+	if estSt.TotalSec >= exactSt.TotalSec {
+		t.Fatalf("estimated makespan %.6fs not below exact %.6fs", estSt.TotalSec, exactSt.TotalSec)
+	}
+}
+
+// TestAddSymbolicUpgrade pins the chunk-level provenance rules of
+// addSymbolic directly: estimated records are upgraded in place by
+// exact ones and never the other way around.
+func TestAddSymbolicUpgrade(t *testing.T) {
+	a := matgen.ER(60, 60, 0.08, 30)
+	cm := speck.ModelFromDevice(testCfg(64 << 20))
+	symEst, err := speck.SymbolicCompute(a, a, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symExact, err := speck.SymbolicCompute(a, a, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewPlanCache(0)
+	rps, err := partition.RowPanels(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps, err := partition.ColPanels(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent := pc.store(planKey{fpA: 1, fpB: 2, aRows: a.Rows, aCols: a.Cols, bCols: a.Cols}, rps, cps)
+
+	pc.addSymbolic(ent, 0, symEst, true)
+	if !ent.symsEst[0] {
+		t.Fatal("estimated record not marked")
+	}
+	// Estimated does not displace estimated.
+	pc.addSymbolic(ent, 0, symEst, true)
+	if pc.Upgrades() != 0 {
+		t.Fatal("estimated re-add counted as upgrade")
+	}
+	// Exact upgrades in place.
+	pc.addSymbolic(ent, 0, symExact, false)
+	if pc.symbolic(ent, 0) != symExact || ent.symsEst[0] {
+		t.Fatal("exact did not upgrade the estimated record")
+	}
+	if pc.Upgrades() != 1 {
+		t.Fatalf("Upgrades = %d, want 1", pc.Upgrades())
+	}
+	// Estimated never displaces exact.
+	pc.addSymbolic(ent, 0, symEst, true)
+	if pc.symbolic(ent, 0) != symExact {
+		t.Fatal("estimated displaced exact")
+	}
+	if pc.Upgrades() != 1 {
+		t.Fatalf("Upgrades = %d after estimated re-add, want 1", pc.Upgrades())
+	}
+}

@@ -1,0 +1,207 @@
+package cpuspgemm
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/csr"
+	"repro/internal/matgen"
+	"repro/internal/metrics"
+	"repro/internal/speck"
+)
+
+func requireBitsEqual(t *testing.T, got, want *csr.Matrix, label string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	if !reflect.DeepEqual(got.RowOffsets, want.RowOffsets) {
+		t.Fatalf("%s: RowOffsets differ", label)
+	}
+	if !reflect.DeepEqual(got.ColIDs, want.ColIDs) {
+		t.Fatalf("%s: ColIDs differ", label)
+	}
+	for i := range got.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: Data[%d] bits differ", label, i)
+		}
+	}
+}
+
+// TestEstimatedPropertyBitIdentical is the PR's property test: across
+// matrix families, estimator extremes and thread counts, the estimated
+// multiply must be byte-identical — structure and values — to the exact
+// engine, and its plan must replay identically through Numeric.
+func TestEstimatedPropertyBitIdentical(t *testing.T) {
+	mats := map[string]*csr.Matrix{
+		"rmat":     matgen.RMAT(10, 8, 0.57, 0.19, 0.19, 71),
+		"er":       matgen.ER(300, 300, 0.03, 72),
+		"band":     matgen.Band(600, 5, 73),
+		"diag":     matgen.BlockDiag(20, 8, 74),
+		"stencil":  matgen.Stencil2D(24, 24),
+		"skewrmat": matgen.RMAT(9, 16, 0.7, 0.12, 0.12, 75),
+	}
+	cfgs := map[string]speck.EstimatorConfig{
+		"default":     {},
+		"allFallback": {SpreadGate: -1, ExactBelow: -1},
+		"overflowy":   {Safety: 0.01, ExactBelow: -1, SpreadGate: 1e9},
+		"tinySample":  {SampleK: 1},
+	}
+	for mname, a := range mats {
+		want, err := Multiply(a, a, Options{Method: Hash})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cname, cfg := range cfgs {
+			for _, threads := range []int{1, 4} {
+				label := mname + "/" + cname
+				c, sym, stats, err := MultiplyEstimated(a, a, Options{Threads: threads, Estimator: cfg})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if err := c.Validate(); err != nil {
+					t.Fatalf("%s: invalid product: %v", label, err)
+				}
+				requireBitsEqual(t, c, want, label)
+				if !sym.Estimated {
+					t.Fatalf("%s: plan not marked estimated", label)
+				}
+				if cname == "allFallback" {
+					if stats.EstimatedRows != 0 || stats.FallbackRows == 0 {
+						t.Fatalf("%s: stats %+v despite forced fallback", label, stats)
+					}
+				}
+				if cname == "overflowy" && mname == "er" && stats.OverflowRows == 0 {
+					t.Fatalf("%s: no overflow despite Safety=0.01", label)
+				}
+				// The estimated plan replays through the warm path.
+				warm, err := Numeric(sym, a, a, Options{Threads: threads})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				requireBitsEqual(t, warm, want, label+"/warm")
+			}
+		}
+	}
+}
+
+// TestMultiplyModeDispatch checks the mode plumbing on the public
+// Multiply entry point: estimate and auto produce the exact product,
+// and ESC ignores estimation entirely.
+func TestMultiplyModeDispatch(t *testing.T) {
+	a := matgen.RMAT(9, 8, 0.57, 0.19, 0.19, 81)
+	want, err := Multiply(a, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []speck.Mode{speck.ModeEstimate, speck.ModeAuto} {
+		got, err := Multiply(a, a, Options{Symbolic: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitsEqual(t, got, want, mode.String())
+	}
+	// Auto with a huge threshold stays exact; with threshold 1 every
+	// multiply estimates. Either way the bits cannot change — this just
+	// exercises both branches of useEstimation.
+	got, err := Multiply(a, a, Options{
+		Symbolic:  speck.ModeAuto,
+		Estimator: speck.EstimatorConfig{AutoFlopsMin: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitsEqual(t, got, want, "auto-low-threshold")
+	esc, err := Multiply(a, a, Options{Method: ESC, Symbolic: speck.ModeEstimate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitsEqual(t, esc, want, "esc-ignores-estimation")
+}
+
+func TestMultiplyPlannedEstimated(t *testing.T) {
+	a := matgen.ER(200, 200, 0.04, 91)
+	cExact, symExact, err := MultiplyPlanned(a, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if symExact.Estimated {
+		t.Fatal("exact plan marked estimated")
+	}
+	cEst, symEst, err := MultiplyPlanned(a, a, Options{Symbolic: speck.ModeEstimate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !symEst.Estimated {
+		t.Fatal("estimated plan not marked")
+	}
+	requireBitsEqual(t, cEst, cExact, "planned")
+	if !reflect.DeepEqual(symEst.RowOffsets, symExact.RowOffsets) ||
+		!reflect.DeepEqual(symEst.ColIDs, symExact.ColIDs) {
+		t.Fatal("estimated plan structure differs from exact")
+	}
+}
+
+func TestEstimatedCounters(t *testing.T) {
+	a := matgen.ER(300, 300, 0.03, 92)
+	m := metrics.New()
+	_, _, stats, err := MultiplyEstimated(a, a, Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Counters()
+	if snap[metrics.CounterSymbolicEstimatedRows] != stats.EstimatedRows {
+		t.Fatalf("estimated rows counter %d != stats %d",
+			snap[metrics.CounterSymbolicEstimatedRows], stats.EstimatedRows)
+	}
+	if snap[metrics.CounterSymbolicFallbackRows] != stats.FallbackRows {
+		t.Fatalf("fallback rows counter %d != stats %d",
+			snap[metrics.CounterSymbolicFallbackRows], stats.FallbackRows)
+	}
+	if snap[metrics.CounterSymbolicOverflowRows] != stats.OverflowRows {
+		t.Fatalf("overflow rows counter %d != stats %d",
+			snap[metrics.CounterSymbolicOverflowRows], stats.OverflowRows)
+	}
+	if stats.EstimatedRows == 0 {
+		t.Fatal("default config estimated nothing")
+	}
+}
+
+func TestEstimatedCancel(t *testing.T) {
+	a := matgen.ER(400, 400, 0.05, 93)
+	if _, _, _, err := MultiplyEstimated(a, a, Options{Cancel: func() bool { return true }}); err != ErrCanceled {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestEstimatedDimensionMismatch(t *testing.T) {
+	if _, _, _, err := MultiplyEstimated(csr.New(3, 4), csr.New(5, 3), Options{}); err == nil {
+		t.Fatal("expected dimension mismatch")
+	}
+}
+
+func TestEstimatedEmptyAndIdentity(t *testing.T) {
+	empty := csr.New(16, 16)
+	c, _, _, err := MultiplyEstimated(empty, empty, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nnz() != 0 {
+		t.Fatalf("empty product nnz %d", c.Nnz())
+	}
+	ents := make([]csr.Entry, 16)
+	for i := range ents {
+		ents[i] = csr.Entry{Row: int32(i), Col: int32(i), Val: 1}
+	}
+	id, err := csr.FromEntries(16, 16, ents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matgen.ER(16, 16, 0.3, 94)
+	c, _, _, err = MultiplyEstimated(a, id, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitsEqual(t, c, a, "identity")
+}

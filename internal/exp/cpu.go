@@ -32,6 +32,20 @@ type CPUBenchReport struct {
 	// the static row split on the same hash accumulator.
 	SpeedupHashVsStatic float64           `json:"speedup_hash_vs_static"`
 	Assembly            CPUAssemblyResult `json:"assembly"`
+	// ThreadScaling times the hash engine at fixed thread counts
+	// (1, 2, 4, 8) regardless of GOMAXPROCS, so runs on differently
+	// sized machines stay comparable. The committed baseline's headline
+	// engine numbers remain the Threads field's count.
+	ThreadScaling []CPUThreadScalingResult `json:"thread_scaling,omitempty"`
+}
+
+// CPUThreadScalingResult is one fixed-thread-count timing of the hash
+// engine.
+type CPUThreadScalingResult struct {
+	Threads   int     `json:"threads"`
+	Seconds   float64 `json:"seconds"`
+	GFLOPS    float64 `json:"gflops"`
+	SpeedupV1 float64 `json:"speedup_vs_1"`
 }
 
 // CPUEngineResult is one engine's best-of-three timing.
@@ -106,6 +120,10 @@ func CPUBench() (*Table, *CPUBenchReport, error) {
 		{"merge", func() (*csr.Matrix, error) {
 			return cpuspgemm.MultiplyMerge(a, a, 0)
 		}},
+		{"hash-estimate", func() (*csr.Matrix, error) {
+			c, _, _, err := cpuspgemm.MultiplyEstimated(a, a, cpuspgemm.Options{})
+			return c, err
+		}},
 	}
 
 	t := &Table{
@@ -141,6 +159,32 @@ func CPUBench() (*Table, *CPUBenchReport, error) {
 		fmt.Sprintf("%.4f", asm.Seconds),
 		fmt.Sprintf("%.1f Mnnz/s", asm.MnnzPerSec),
 	})
+
+	// Fixed-thread-count scaling of the hash engine. On machines with
+	// fewer cores than a requested count the extra workers just share
+	// cores; the report keeps the requested count so baselines from
+	// different machines stay comparable.
+	for _, nt := range []int{1, 2, 4, 8} {
+		s, err := bestOf(reps, func() error {
+			_, err := cpuspgemm.Multiply(a, a, cpuspgemm.Options{Threads: nt, Method: cpuspgemm.Hash})
+			return err
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("cpu bench threads=%d: %w", nt, err)
+		}
+		r := CPUThreadScalingResult{Threads: nt, Seconds: s, GFLOPS: float64(flops) / s / 1e9}
+		if len(rep.ThreadScaling) > 0 {
+			r.SpeedupV1 = rep.ThreadScaling[0].Seconds / s
+		} else {
+			r.SpeedupV1 = 1
+		}
+		rep.ThreadScaling = append(rep.ThreadScaling, r)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("hash @%d threads", nt),
+			fmt.Sprintf("%.4f", s),
+			fmt.Sprintf("%.3f", r.GFLOPS),
+		})
+	}
 	return t, rep, nil
 }
 

@@ -32,6 +32,33 @@ type IterBenchReport struct {
 	// the out-of-core device engine in simulated seconds.
 	CPU IterEngineResult `json:"cpu"`
 	GPU IterEngineResult `json:"gpu"`
+	// CPUEstimated is the estimation-elided cold path on the real CPU
+	// engine, measured against the same fresh-values iterations: how
+	// close a cold multiply gets to the warm numeric-only replay when
+	// the exact symbolic phase is replaced by the sampled estimator.
+	CPUEstimated IterEstimationResult `json:"cpu_estimated"`
+}
+
+// IterEstimationResult reports the estimation-based symbolic elision
+// on the CPU engine's cold path.
+type IterEstimationResult struct {
+	// ColdSeconds is the per-iteration average of the estimated cold
+	// multiply (estimator + adaptive numeric + compaction, no exact
+	// symbolic phase).
+	ColdSeconds float64 `json:"cold_seconds"`
+	// ColdSpeedup is exact-cold / estimated-cold — what the elision
+	// saves a cold multiply.
+	ColdSpeedup float64 `json:"cold_speedup"`
+	// ColdOverWarm is estimated-cold / warm — the acceptance target of
+	// the elision is <= 3 (the exact cold path sits near 10x warm).
+	ColdOverWarm float64 `json:"cold_over_warm"`
+	// EstimatedRows, FallbackRows and OverflowRows aggregate the
+	// estimator's row outcomes over all iterations; HitRate is
+	// estimated / (estimated + fallback).
+	EstimatedRows int64   `json:"estimated_rows"`
+	FallbackRows  int64   `json:"fallback_rows"`
+	OverflowRows  int64   `json:"overflow_rows"`
+	HitRate       float64 `json:"estimation_hit_rate"`
 }
 
 // IterEngineResult compares one engine's cold and warm per-iteration
@@ -94,11 +121,12 @@ func IterBench() (*Table, *IterBenchReport, error) {
 		Iterations: iters,
 	}
 
-	cpu, err := iterCPU(a, iters)
+	cpu, est, err := iterCPU(a, iters)
 	if err != nil {
 		return nil, nil, fmt.Errorf("iter bench cpu: %w", err)
 	}
 	rep.CPU = cpu
+	rep.CPUEstimated = est
 	gpu, err := iterGPU(a, iters)
 	if err != nil {
 		return nil, nil, fmt.Errorf("iter bench gpu: %w", err)
@@ -111,11 +139,15 @@ func IterBench() (*Table, *IterBenchReport, error) {
 		Rows: [][]string{
 			{"cpu (wall)", fmt.Sprintf("%.4f", cpu.ColdSeconds), fmt.Sprintf("%.4f", cpu.WarmSeconds),
 				fmt.Sprintf("%.2fx", cpu.Speedup), fmt.Sprintf("%.4f", cpu.SymbolicSeconds), fmt.Sprintf("%.2f", cpu.HitRate)},
+			{"cpu estimated (wall)", fmt.Sprintf("%.4f", est.ColdSeconds), fmt.Sprintf("%.4f", cpu.WarmSeconds),
+				fmt.Sprintf("%.2fx", est.ColdSeconds/cpu.WarmSeconds), "-", fmt.Sprintf("%.2f", est.HitRate)},
 			{"gpu (simulated)", fmt.Sprintf("%.4f", gpu.ColdSeconds), fmt.Sprintf("%.4f", gpu.WarmSeconds),
 				fmt.Sprintf("%.2fx", gpu.Speedup), fmt.Sprintf("%.4f", gpu.SymbolicSeconds), fmt.Sprintf("%.2f", gpu.HitRate)},
 		},
 		Notes: []string{
 			"warm = cached symbolic plan, numeric-only re-multiply (acceptance target: speedup >= 2)",
+			fmt.Sprintf("cpu estimated cold = symbolic elision: %.2fx faster than exact cold, %.2fx warm (target <= 3x)",
+				est.ColdSpeedup, est.ColdOverWarm),
 			fmt.Sprintf("gpu H2D bytes cold %d -> warm %d (panels stay device-resident across jobs)", gpu.ColdBytesH2D, gpu.WarmBytesH2D),
 			"written to BENCH_iter.json by cmd/spgemm-bench -exp=iter",
 		},
@@ -124,27 +156,39 @@ func IterBench() (*Table, *IterBenchReport, error) {
 }
 
 // iterCPU times the real engine: cold = full two-phase multiply per
-// iteration, warm = numeric-only into the cached symbolic structure.
-func iterCPU(a *csr.Matrix, iters int) (IterEngineResult, error) {
+// iteration, warm = numeric-only into the cached symbolic structure,
+// estimated = the symbolic-elided cold multiply — all three against
+// the same fresh-values matrices so the ratios are exact.
+func iterCPU(a *csr.Matrix, iters int) (IterEngineResult, IterEstimationResult, error) {
 	var res IterEngineResult
+	var est IterEstimationResult
 	opts := cpuspgemm.Options{}
 
 	// Populate the plan once (excluded from both averages).
 	_, sym, err := cpuspgemm.MultiplyPlanned(a, a, opts)
 	if err != nil {
-		return res, err
+		return res, est, err
 	}
-	var coldTotal, warmTotal float64
+	var coldTotal, warmTotal, estTotal float64
 	for it := 0; it < iters; it++ {
 		fresh := reseed(a, int64(1000+it))
 		start := time.Now()
 		if _, err := cpuspgemm.Multiply(fresh, fresh, opts); err != nil {
-			return res, err
+			return res, est, err
 		}
 		coldTotal += time.Since(start).Seconds()
 		start = time.Now()
+		_, _, st, err := cpuspgemm.MultiplyEstimated(fresh, fresh, opts)
+		if err != nil {
+			return res, est, err
+		}
+		estTotal += time.Since(start).Seconds()
+		est.EstimatedRows += st.EstimatedRows
+		est.FallbackRows += st.FallbackRows
+		est.OverflowRows += st.OverflowRows
+		start = time.Now()
 		if _, err := cpuspgemm.Numeric(sym, fresh, fresh, opts); err != nil {
-			return res, err
+			return res, est, err
 		}
 		warmTotal += time.Since(start).Seconds()
 		res.Hits++
@@ -156,7 +200,13 @@ func iterCPU(a *csr.Matrix, iters int) (IterEngineResult, error) {
 	res.SymbolicSeconds = res.ColdSeconds - res.WarmSeconds
 	res.NumericSeconds = res.WarmSeconds
 	res.HitRate = float64(res.Hits) / float64(res.Hits+res.Misses)
-	return res, nil
+	est.ColdSeconds = estTotal / float64(iters)
+	est.ColdSpeedup = res.ColdSeconds / est.ColdSeconds
+	est.ColdOverWarm = est.ColdSeconds / res.WarmSeconds
+	if est.EstimatedRows+est.FallbackRows > 0 {
+		est.HitRate = float64(est.EstimatedRows) / float64(est.EstimatedRows+est.FallbackRows)
+	}
+	return res, est, nil
 }
 
 // iterGPU times the out-of-core engine in simulated seconds: cold

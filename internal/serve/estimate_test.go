@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/spgemm"
+)
+
+// TestEstimationCountersAggregate submits an estimation-mode job (the
+// mode inherited from the server's base options) and checks the
+// symbolic_* counter family lands in the server-level snapshot and the
+// /metricsz body, including the derived estimation hit rate.
+func TestEstimationCountersAggregate(t *testing.T) {
+	s := New(Config{
+		MaxConcurrent: 1,
+		Base:          spgemm.RunOptions{Symbolic: spgemm.SymbolicEstimate},
+	})
+	defer s.Drain(time.Second)
+	a := spgemm.ER(300, 300, 0.03, 61)
+	res, err := s.Submit(Job{Engine: "cpu", A: a, B: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot[metrics.CounterSymbolicEstimatedRows] == 0 {
+		t.Fatalf("job snapshot has no estimated rows: %v", res.Snapshot)
+	}
+	snap := s.Snapshot()
+	if snap[metrics.CounterSymbolicEstimatedRows] != res.Snapshot[metrics.CounterSymbolicEstimatedRows] {
+		t.Fatalf("server snapshot %d != job %d",
+			snap[metrics.CounterSymbolicEstimatedRows], res.Snapshot[metrics.CounterSymbolicEstimatedRows])
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	rate, ok := body["symbolic_estimation_hit_rate"].(float64)
+	if !ok {
+		t.Fatalf("metricsz missing symbolic_estimation_hit_rate: %v", body)
+	}
+	if rate <= 0 || rate > 1 {
+		t.Fatalf("estimation hit rate %v outside (0, 1]", rate)
+	}
+}
+
+// TestEstimationModeInheritedByHTTPJobs drives the HTTP surface the
+// way the daemon is used: /v1/multiply requests carry their own
+// RunOptions (threads, deadline) with no symbolic field, and must
+// still inherit the server's base symbolic mode.
+func TestEstimationModeInheritedByHTTPJobs(t *testing.T) {
+	s := New(Config{
+		MaxConcurrent: 1,
+		Base:          spgemm.RunOptions{Symbolic: spgemm.SymbolicEstimate},
+	})
+	defer s.Drain(time.Second)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"engine":"cpu","a":{"kind":"rmat","scale":9,"edge_factor":8,"seed":3}}`
+	resp, err := http.Post(ts.URL+"/v1/multiply", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("multiply status %d", resp.StatusCode)
+	}
+	snap := s.Snapshot()
+	if snap[metrics.CounterSymbolicEstimatedRows] == 0 {
+		t.Fatalf("HTTP job did not inherit estimation mode: %v", snap)
+	}
+}
+
+// TestEstimatedJobMatchesExact pins the serving-layer contract: the
+// same job in estimation mode returns the product the exact mode
+// returns, bit for bit.
+func TestEstimatedJobMatchesExact(t *testing.T) {
+	exactSrv := New(Config{MaxConcurrent: 1, PlanCacheBytes: -1})
+	defer exactSrv.Drain(time.Second)
+	estSrv := New(Config{
+		MaxConcurrent:  1,
+		PlanCacheBytes: -1,
+		Base:           spgemm.RunOptions{Symbolic: spgemm.SymbolicEstimate},
+	})
+	defer estSrv.Drain(time.Second)
+
+	a := spgemm.RMAT(9, 8, 0.57, 0.19, 0.19, 62)
+	exact, err := exactSrv.Submit(Job{Engine: "cpu", A: a, B: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := estSrv.Submit(Job{Engine: "cpu", A: a, B: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spgemm.Equal(exact.C, est.C, 0) {
+		t.Fatal("estimated job product differs from exact")
+	}
+}

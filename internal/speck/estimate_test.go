@@ -1,0 +1,249 @@
+package speck
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/csr"
+	"repro/internal/matgen"
+)
+
+func bitsEqual(t *testing.T, got, want *csr.Matrix, label string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	if !reflect.DeepEqual(got.RowOffsets, want.RowOffsets) {
+		t.Fatalf("%s: RowOffsets differ", label)
+	}
+	if !reflect.DeepEqual(got.ColIDs, want.ColIDs) {
+		t.Fatalf("%s: ColIDs differ", label)
+	}
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("%s: nnz %d, want %d", label, len(got.Data), len(want.Data))
+	}
+	for i := range got.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: Data[%d] = %x, want %x", label,
+				i, math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]))
+		}
+	}
+}
+
+func estimateTestMatrices() map[string]*csr.Matrix {
+	return map[string]*csr.Matrix{
+		"rmat":      matgen.RMAT(9, 8, 0.57, 0.19, 0.19, 11),
+		"er":        matgen.ER(150, 150, 0.05, 12),
+		"band":      matgen.Band(400, 4, 13),
+		"blockdiag": matgen.BlockDiag(8, 10, 14),
+		"stencil":   matgen.Stencil2D(20, 20),
+	}
+}
+
+// TestComputeEstimatedBitIdentical is the core invariant of the
+// estimation path: the product AND the symbolic plan must be
+// bit-for-bit what the exact path produces, across matrix families and
+// estimator extremes (defaults, forced fallback, forced overflow).
+func TestComputeEstimatedBitIdentical(t *testing.T) {
+	cfgs := map[string]EstimatorConfig{
+		"default":  {},
+		"fallback": {SpreadGate: -1, ExactBelow: -1},
+		"overflow": {Safety: 0.01, ExactBelow: -1},
+		"sample2":  {SampleK: 2},
+	}
+	for mname, a := range estimateTestMatrices() {
+		want, err := Compute(a, a, model())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSym, err := SymbolicCompute(a, a, model())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cname, cfg := range cfgs {
+			res, sym, stats, err := ComputeEstimated(a, a, model(), cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mname, cname, err)
+			}
+			bitsEqual(t, res.C, want.C, mname+"/"+cname)
+			if !reflect.DeepEqual(sym, wantSym) {
+				t.Fatalf("%s/%s: estimated Symbolic differs from exact", mname, cname)
+			}
+			if stats.EstimatedRows+stats.FallbackRows == 0 {
+				t.Fatalf("%s/%s: no rows processed", mname, cname)
+			}
+			if cname == "fallback" && stats.EstimatedRows != 0 {
+				t.Fatalf("%s/fallback: %d rows estimated despite forced gate", mname, stats.EstimatedRows)
+			}
+			if res.SymbolicSec >= want.SymbolicSec {
+				t.Fatalf("%s/%s: estimated SymbolicSec %v not below exact %v",
+					mname, cname, res.SymbolicSec, want.SymbolicSec)
+			}
+			// The estimated plan must replay like an exact one.
+			replay, err := Numeric(sym, a, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitsEqual(t, replay.C, want.C, mname+"/"+cname+"/replay")
+		}
+	}
+}
+
+func TestComputeEstimatedOverflowForced(t *testing.T) {
+	// A moderately dense square: rows clear ExactBelow and a 1% safety
+	// factor guarantees the estimate's capacity is outgrown.
+	a := matgen.ER(200, 200, 0.15, 21)
+	want, err := Compute(a, a, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, stats, err := ComputeEstimated(a, a, model(), EstimatorConfig{Safety: 0.01, ExactBelow: -1, SpreadGate: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.OverflowRows == 0 {
+		t.Fatal("expected overflow rows with Safety=0.01")
+	}
+	bitsEqual(t, res.C, want.C, "overflow")
+}
+
+func TestEstimateRowsDeterministicAndBounded(t *testing.T) {
+	a := matgen.RMAT(9, 8, 0.57, 0.19, 0.19, 31)
+	ub := csr.RowUpperBounds(a, a)
+	e1 := EstimateRows(a, a, ub, EstimatorConfig{})
+	e2 := EstimateRows(a, a, ub, EstimatorConfig{})
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatal("EstimateRows is not deterministic")
+	}
+	width := int64(a.Cols)
+	for i := range e1.Caps {
+		if ub[i] == 0 {
+			if e1.Caps[i] != 0 || e1.Est[i] != 0 || e1.Fallback[i] {
+				t.Fatalf("empty row %d got work", i)
+			}
+			continue
+		}
+		if e1.Fallback[i] {
+			if e1.Caps[i] != 0 {
+				t.Fatalf("fallback row %d pre-sized to %d", i, e1.Caps[i])
+			}
+			continue
+		}
+		if e1.Caps[i] < 1 || e1.Caps[i] > ub[i] || e1.Caps[i] > width {
+			t.Fatalf("row %d cap %d outside [1, min(ub=%d, width=%d)]", i, e1.Caps[i], ub[i], width)
+		}
+		if e1.Est[i] < 1 || e1.Est[i] > ub[i] {
+			t.Fatalf("row %d est %d outside [1, ub=%d]", i, e1.Est[i], ub[i])
+		}
+	}
+}
+
+func TestExpectedDistinct(t *testing.T) {
+	cases := []struct {
+		width, products, wantMin, wantMax int64
+	}{
+		{0, 5, 0, 0},
+		{10, 0, 0, 0},
+		{1, 100, 1, 1},
+		{100, 1, 1, 1},
+		{1000, 10, 9, 10},   // few balls: nearly all distinct
+		{10, 10000, 10, 10}, // saturated: the full width
+		{100, 100, 60, 100}, // 1-1/e of the width, roughly
+	}
+	for _, c := range cases {
+		got := expectedDistinct(c.width, c.products)
+		if got < c.wantMin || got > c.wantMax {
+			t.Fatalf("expectedDistinct(%d, %d) = %d, want [%d, %d]",
+				c.width, c.products, got, c.wantMin, c.wantMax)
+		}
+	}
+}
+
+func TestEstimateTotalNnzOverestimatesUniform(t *testing.T) {
+	// Uniform patterns are the estimator's model: the collision-corrected
+	// bound must cover the true output size.
+	for _, a := range []*csr.Matrix{matgen.Band(300, 3, 41), matgen.Stencil2D(15, 15)} {
+		res, err := Compute(a, a, model())
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := EstimateTotalNnz(a, a, EstimatorConfig{})
+		if est < res.C.Nnz() {
+			t.Fatalf("EstimateTotalNnz %d below exact %d", est, res.C.Nnz())
+		}
+		if est > 4*res.C.Nnz() {
+			t.Fatalf("EstimateTotalNnz %d over 4x exact %d", est, res.C.Nnz())
+		}
+	}
+}
+
+func TestModeParseAndString(t *testing.T) {
+	for _, c := range []struct {
+		s    string
+		want Mode
+	}{{"", ModeExact}, {"exact", ModeExact}, {"estimate", ModeEstimate}, {"auto", ModeAuto}} {
+		got, err := ParseMode(c.s)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseMode(%q) = %v, %v", c.s, got, err)
+		}
+	}
+	if _, err := ParseMode("banana"); err == nil {
+		t.Fatal("ParseMode accepted junk")
+	}
+	if ModeExact.String() != "exact" || ModeEstimate.String() != "estimate" || ModeAuto.String() != "auto" {
+		t.Fatal("Mode.String wrong")
+	}
+}
+
+func TestModeEstimates(t *testing.T) {
+	cfg := EstimatorConfig{AutoFlopsMin: 1000}
+	if ModeExact.Estimates(1<<40, cfg) {
+		t.Fatal("exact mode estimated")
+	}
+	if !ModeEstimate.Estimates(1, cfg) {
+		t.Fatal("estimate mode declined")
+	}
+	if ModeAuto.Estimates(999, cfg) {
+		t.Fatal("auto estimated below threshold")
+	}
+	if !ModeAuto.Estimates(1000, cfg) {
+		t.Fatal("auto declined at threshold")
+	}
+}
+
+func TestPickClass(t *testing.T) {
+	const width = 1024
+	if got := PickClass(100, ListClassMax, width); got != ListClass {
+		t.Fatalf("tiny row classed %v", got)
+	}
+	// Sparse row in a very wide panel: the bitmap flush scan would not
+	// amortize, so the hash class serves it.
+	if got := PickClass(500, 100, 1<<20); got != HashClass {
+		t.Fatalf("sparse wide-panel row classed %v", got)
+	}
+	// Flop-heavy: each output slot revisited many times.
+	if got := PickClass(100*8, 100, 1<<20); got != DenseClass {
+		t.Fatalf("flop-heavy row classed %v", got)
+	}
+	// Dense enough for the bitmap scan to amortize (estNnz = width/256)
+	// without tripping the flop-heaviness rule.
+	if got := PickClass(64, 32, 8192); got != DenseClass {
+		t.Fatalf("bitmap-amortized row classed %v", got)
+	}
+	// Wide output: covers an eighth of the panel.
+	if got := PickClass(200, width/8, width); got != DenseClass {
+		t.Fatalf("wide row classed %v", got)
+	}
+}
+
+func TestEstimatorConfigDefaults(t *testing.T) {
+	d := EstimatorConfig{}.WithDefaults()
+	if d.SampleK != 8 || d.Safety != 1.5 || d.SpreadGate != 8 || d.ExactBelow != 32 || d.AutoFlopsMin != 2<<20 {
+		t.Fatalf("unexpected defaults: %+v", d)
+	}
+	neg := EstimatorConfig{SpreadGate: -1, ExactBelow: -1}.WithDefaults()
+	if neg.SpreadGate != -1 || neg.ExactBelow != -1 {
+		t.Fatal("negative extremes must survive WithDefaults")
+	}
+}

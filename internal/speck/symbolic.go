@@ -95,7 +95,17 @@ func SymbolicCompute(a, b *csr.Matrix, cm CostModel) (*Symbolic, error) {
 		colIDs = append(colIDs, colBuf...)
 	}
 	sym.ColIDs = colIDs
+	finalizeSymbolic(sym, rowNnz, width, cm)
+	return sym, nil
+}
 
+// finalizeSymbolic fills everything downstream of the structure scan —
+// host grouping, exact offsets, simulated durations, transfer and
+// workspace sizes — from the per-row output counts. It is shared by
+// the exact path (counts from the symbolic hash pass) and the
+// estimated path (counts read off the adaptive numeric pass), so both
+// produce field-identical Symbolic plans.
+func finalizeSymbolic(sym *Symbolic, rowNnz []int64, width int, cm CostModel) {
 	// Host re-grouping for the numeric phase: bin rows by (kind, size
 	// class), where kind is dense accumulation for rows whose
 	// flops-per-output ratio amortizes the dense array.
@@ -105,7 +115,7 @@ func SymbolicCompute(a, b *csr.Matrix, cm CostModel) (*Symbolic, error) {
 	}
 	bins := map[key]*Group{}
 	var order []key // deterministic group order: first appearance
-	for r := 0; r < a.Rows; r++ {
+	for r := 0; r < sym.Rows; r++ {
 		if sym.UpperBounds[r] == 0 {
 			continue // empty output row: no kernel work
 		}
@@ -135,8 +145,8 @@ func SymbolicCompute(a, b *csr.Matrix, cm CostModel) (*Symbolic, error) {
 	}
 
 	// Exact offsets from the symbolic counts.
-	sym.RowOffsets = make([]int64, a.Rows+1)
-	for r := 0; r < a.Rows; r++ {
+	sym.RowOffsets = make([]int64, sym.Rows+1)
+	for r := 0; r < sym.Rows; r++ {
 		sym.RowOffsets[r+1] = sym.RowOffsets[r] + rowNnz[r]
 	}
 
@@ -153,12 +163,11 @@ func SymbolicCompute(a, b *csr.Matrix, cm CostModel) (*Symbolic, error) {
 	sym.AnalysisSec = numeric * cm.AnalysisFactor
 
 	// Transfer and workspace sizes.
-	sym.RowInfoBytes = int64(a.Rows) * 16 // flops + upper bound per row
-	sym.NnzInfoBytes = int64(a.Rows) * 8  // output row size per row
-	nnz := sym.RowOffsets[a.Rows]
-	sym.OutputBytes = int64(a.Rows+1)*8 + nnz*4 + nnz*8
+	sym.RowInfoBytes = int64(sym.Rows) * 16 // flops + upper bound per row
+	sym.NnzInfoBytes = int64(sym.Rows) * 8  // output row size per row
+	nnz := sym.RowOffsets[sym.Rows]
+	sym.OutputBytes = int64(sym.Rows+1)*8 + nnz*4 + nnz*8
 	sym.WorkspaceBytes = workspaceBytes(sym.UpperBounds, width)
-	return sym, nil
 }
 
 // Numeric re-runs only value accumulation against a pre-computed

@@ -81,6 +81,18 @@ type RunOptions struct {
 	// clock for device engines and SUMMA, the wall clock for the cpu
 	// engine. 0 means no deadline.
 	DeadlineSec float64
+	// Symbolic selects the symbolic strategy of every engine that runs
+	// a cold symbolic phase: SymbolicExact (the default) keeps the
+	// classic two-phase pipeline, SymbolicEstimate elides the exact
+	// symbolic pass behind the sampled row estimator (the product is
+	// bit-for-bit identical), SymbolicAuto estimates only multiplies
+	// (or chunks) large enough to amortize it. EstimateCost and the
+	// grid planner follow the same setting, pricing jobs from the
+	// estimator instead of an exact symbolic pass.
+	Symbolic SymbolicMode
+	// Estimator tunes the estimation path; the zero value uses the
+	// defaults documented on speck.EstimatorConfig.
+	Estimator EstimatorConfig
 }
 
 // wallDeadline converts DeadlineSec into a wall-clock cancellation
@@ -108,10 +120,16 @@ func (o RunOptions) device() DeviceConfig {
 }
 
 // plan resolves the chunk grid for a's and b's structures, through
-// the plan cache's memoized planner when one is configured.
+// the plan cache's memoized planner when one is configured. The
+// symbolic mode decides whether the grid is sized by the exact
+// symbolic pass or the sampled estimator.
 func (o RunOptions) plan(a, b *Matrix) (OutOfCoreOptions, error) {
+	estimated := o.Symbolic != SymbolicExact
 	if o.PlanCache != nil {
-		return o.PlanCache.plan(a, b, o.device())
+		return o.PlanCache.plan(a, b, o.device(), estimated)
+	}
+	if estimated {
+		return PlanEstimated(a, b, o.device())
 	}
 	return Plan(a, b, o.device())
 }
@@ -133,6 +151,8 @@ func (o RunOptions) coreOptions(a, b *Matrix, async bool) (OutOfCoreOptions, err
 	opts.Faults = o.Faults
 	opts.ChunkRetries = o.ChunkRetries
 	opts.DeadlineSec = o.DeadlineSec
+	opts.Symbolic = o.Symbolic
+	opts.Estimator = o.Estimator
 	if pc := o.PlanCache.coreCache(); pc != nil {
 		opts.PlanCache = pc // an explicitly set Core.PlanCache is kept otherwise
 	}
@@ -348,7 +368,10 @@ func init() {
 		describe: "real multi-core two-phase SpGEMM with per-row accumulator selection (Nagasaka et al.)",
 		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
 			c, st, err := cpuEngine(a, b, func() (*Matrix, error) {
-				copts := cpuspgemm.Options{Threads: o.Threads, Metrics: o.Metrics, Cancel: o.wallDeadline()}
+				copts := cpuspgemm.Options{
+					Threads: o.Threads, Metrics: o.Metrics, Cancel: o.wallDeadline(),
+					Symbolic: o.Symbolic, Estimator: o.Estimator,
+				}
 				if o.PlanCache != nil {
 					return o.PlanCache.multiplyCPU(a, b, copts)
 				}
@@ -481,7 +504,7 @@ func init() {
 		device:   true,
 		describe: "out-of-core GPU with automatic chunk-grid planning and refinement",
 		run: func(a, b *Matrix, o RunOptions) (*Matrix, Report, error) {
-			c, st, err := runAuto(a, b, o.device(), o.Metrics, o.PlanCache)
+			c, st, err := runAuto(a, b, o.device(), o.Metrics, o.PlanCache, o.Symbolic)
 			if err != nil {
 				return nil, nil, err
 			}

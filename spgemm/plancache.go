@@ -48,9 +48,10 @@ type PlanCache struct {
 	bytes   int64
 	entries map[cpuPlanKey]*cpuPlanEntry
 	order   []cpuPlanKey // LRU: oldest first
-	grids   map[gridKey]OutOfCoreOptions
+	grids   map[gridKey]gridEntry
 
 	hits, misses, evictions int64
+	upgrades                int64
 }
 
 type cpuPlanKey struct {
@@ -68,6 +69,16 @@ type gridKey struct {
 	memBytes int64
 }
 
+// gridEntry is one memoized chunk grid, tagged with its provenance: a
+// grid planned from the estimator may differ from the exact one (the
+// estimate over-sizes skewed outputs), so an exact planning pass later
+// upgrades the memo in place; an exact grid is never displaced by an
+// estimated request.
+type gridEntry struct {
+	opts      OutOfCoreOptions
+	estimated bool
+}
+
 // NewPlanCache returns a plan cache bounded to maxBytes of cached
 // structure (0 means a default of 256 MiB split between the CPU and
 // device halves).
@@ -79,7 +90,7 @@ func NewPlanCache(maxBytes int64) *PlanCache {
 		dev:     core.NewPlanCache(maxBytes / 2),
 		max:     maxBytes / 2,
 		entries: map[cpuPlanKey]*cpuPlanEntry{},
-		grids:   map[gridKey]OutOfCoreOptions{},
+		grids:   map[gridKey]gridEntry{},
 	}
 }
 
@@ -169,7 +180,9 @@ func (p *PlanCache) multiplyCPU(a, b *Matrix, opts cpuspgemm.Options) (*Matrix, 
 	if err != nil {
 		return nil, err
 	}
-	p.storeCPU(key, sym)
+	if p.storeCPU(key, sym) {
+		opts.Metrics.Add(metrics.CounterPlanCacheUpgrades, 1)
+	}
 	return c, nil
 }
 
@@ -186,11 +199,25 @@ func (p *PlanCache) acquireCPU(key cpuPlanKey) *cpuspgemm.SymbolicResult {
 	return ent.sym
 }
 
-func (p *PlanCache) storeCPU(key cpuPlanKey, sym *cpuspgemm.SymbolicResult) {
+// storeCPU records a cold run's plan. Provenance rules: a first store
+// wins against concurrent cold runs on one pattern, except that an
+// exact plan upgrades an estimated entry in place (the cached
+// structure is exact either way — the upgrade flips the provenance so
+// observability and the estimated-vs-exact accounting stay truthful);
+// an estimated plan never displaces an exact one. The boolean reports
+// whether an upgrade happened.
+func (p *PlanCache) storeCPU(key cpuPlanKey, sym *cpuspgemm.SymbolicResult) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.entries[key] != nil {
-		return // concurrent cold runs on one pattern: first store wins
+	if ent := p.entries[key]; ent != nil {
+		if !ent.sym.Estimated || sym.Estimated {
+			return false // concurrent cold runs on one pattern: first store wins
+		}
+		p.bytes += sym.Bytes() - ent.bytes
+		ent.sym = sym
+		ent.bytes = sym.Bytes()
+		p.upgrades++
+		return true
 	}
 	p.entries[key] = &cpuPlanEntry{sym: sym, bytes: sym.Bytes()}
 	p.order = append(p.order, key)
@@ -199,27 +226,59 @@ func (p *PlanCache) storeCPU(key cpuPlanKey, sym *cpuspgemm.SymbolicResult) {
 		p.dropLocked(0)
 		p.evictions++
 	}
+	return false
 }
 
 // plan memoizes the chunk-grid planner per structure pair and device
 // memory size, so repeated jobs (and the admission controller sizing
-// them) pay the planning scan once per pattern.
-func (p *PlanCache) plan(a, b *Matrix, cfg DeviceConfig) (OutOfCoreOptions, error) {
+// them) pay the planning scan once per pattern. estimated selects the
+// sampled-estimator planner (PlanEstimated) over the exact one; a memo
+// planned from the estimator satisfies estimated requests but not
+// exact ones — an exact request re-plans and upgrades the memo in
+// place, and an exact memo serves everyone.
+func (p *PlanCache) plan(a, b *Matrix, cfg DeviceConfig, estimated bool) (OutOfCoreOptions, error) {
 	key := gridKey{fpA: csr.Fingerprint(a), fpB: csr.Fingerprint(b), memBytes: cfg.MemoryBytes}
 	p.mu.Lock()
-	if opts, ok := p.grids[key]; ok {
+	if ent, ok := p.grids[key]; ok && (!ent.estimated || estimated) {
 		p.mu.Unlock()
-		return opts, nil
+		return ent.opts, nil
 	}
 	p.mu.Unlock()
-	opts, err := Plan(a, b, cfg)
+	var opts OutOfCoreOptions
+	var err error
+	if estimated {
+		opts, err = PlanEstimated(a, b, cfg)
+	} else {
+		opts, err = Plan(a, b, cfg)
+	}
 	if err != nil {
 		return OutOfCoreOptions{}, err
 	}
 	p.mu.Lock()
-	p.grids[key] = opts
+	if cur, ok := p.grids[key]; ok && !cur.estimated {
+		// A concurrent exact planning pass won; keep its memo.
+		opts = cur.opts
+	} else {
+		if ok && cur.estimated && !estimated {
+			p.upgrades++
+		}
+		p.grids[key] = gridEntry{opts: opts, estimated: estimated}
+	}
 	p.mu.Unlock()
 	return opts, nil
+}
+
+// Upgrades reports how many estimated plans (CPU symbolic entries,
+// device chunk plans and grid memos) were upgraded in place by exact
+// ones.
+func (p *PlanCache) Upgrades() int64 {
+	if p == nil {
+		return 0
+	}
+	n := p.dev.Upgrades()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return n + p.upgrades
 }
 
 func (p *PlanCache) touchLocked(key cpuPlanKey) {
