@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/spgemm"
+	apiv1 "repro/spgemm/api/v1"
 )
 
 // simSpans filters a collector's timeline down to the simulated-clock
@@ -452,5 +453,75 @@ func TestChaosServeEstimationPlanCacheBypass(t *testing.T) {
 	}
 	if n := s.PlanCache().Len(); n == 0 {
 		t.Fatal("fault-free estimation job did not populate the plan cache")
+	}
+}
+
+// TestChaosBatchPartialFailure drives a /v1/batch DAG through the
+// fault-injection layer: the server's base options kill the simulated
+// device mid-run, so the gpu-only node fails with the typed
+// device_lost code and its dependent is skipped, while the hybrid node
+// on the same batch recovers through CPU fallback and still produces
+// the exact reference product. The fault-injected nodes must also stay
+// out of the shared plan cache (a warm replay would shift when the
+// seeded faults fire), and the server must remain healthy afterwards.
+func TestChaosBatchPartialFailure(t *testing.T) {
+	cfg := spgemm.V100WithMemory(1 << 20)
+	s := serve.New(serve.Config{
+		MaxConcurrent: 2,
+		Base: spgemm.RunOptions{
+			Device: &cfg,
+			Core:   spgemm.OutOfCoreOptions{RowPanels: 4, ColPanels: 2},
+			Faults: spgemm.FaultConfig{Seed: 1, LossAfterOps: 20},
+		},
+	})
+	defer s.Drain(0)
+	a, _ := chaosMatrix(0)
+	h, err := s.StoreMatrix(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := s.SubmitBatch(&apiv1.BatchRequest{Nodes: []apiv1.BatchNode{
+		{ID: "lost", Engine: "gpu", A: apiv1.Operand{Handle: h}},
+		{ID: "child", Engine: "cpu", A: apiv1.Operand{Node: "lost"}, B: &apiv1.Operand{Handle: h}},
+		{ID: "recovers", Engine: "hybrid", A: apiv1.Operand{Handle: h}, Store: true},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Completed != 1 || resp.Failed != 1 || resp.Skipped != 1 {
+		t.Fatalf("completed/failed/skipped = %d/%d/%d, want 1/1/1; nodes %+v",
+			resp.Completed, resp.Failed, resp.Skipped, resp.Nodes)
+	}
+	byID := map[string]apiv1.NodeResult{}
+	for _, nr := range resp.Nodes {
+		byID[nr.ID] = nr
+	}
+	if nr := byID["lost"]; nr.Status != apiv1.StatusFailed || nr.Error == nil || nr.Error.Code != apiv1.CodeDeviceLost {
+		t.Fatalf("lost = %+v", nr)
+	}
+	if nr := byID["child"]; nr.Status != apiv1.StatusSkipped || nr.Error == nil || nr.Error.Code != apiv1.CodeUpstreamFailed {
+		t.Fatalf("child = %+v", nr)
+	}
+	rec := byID["recovers"]
+	if rec.Status != apiv1.StatusOK || rec.Handle == "" {
+		t.Fatalf("recovers = %+v", rec)
+	}
+	got, ok := s.Matrix(rec.Handle)
+	if !ok {
+		t.Fatal("recovered node's stored handle not found")
+	}
+	if !spgemm.Equal(got, reference(t, a), 1e-9) {
+		t.Fatal("recovered product differs from CPU reference")
+	}
+	if n := s.PlanCache().Len(); n != 0 {
+		t.Fatalf("fault-injected batch left %d plan cache entries", n)
+	}
+	// The batch released its admission unit and the server still serves.
+	if jobs, flops := s.Inflight(); jobs != 0 || flops != 0 {
+		t.Fatalf("inflight after batch = %d/%d, want 0/0", jobs, flops)
+	}
+	if _, err := s.Submit(serve.Job{Engine: "hybrid", A: a, B: a}); err != nil {
+		t.Fatalf("server unhealthy after chaos batch: %v", err)
 	}
 }

@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments to run (cpu,iter,table1,table2,fig4,fig7,fig8,fig9,fig10,table3,scaling,distributed,gridsweep,ablation-ub,ablation-um,ablation-split,timeline,all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiments to run (cpu,iter,batch,table1,table2,fig4,fig7,fig8,fig9,fig10,table3,scaling,distributed,gridsweep,ablation-ub,ablation-um,ablation-split,timeline,all)")
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 	engFlag := flag.String("engine", "", "benchmark one registered engine ("+strings.Join(spgemm.Engines(), ", ")+") and write BENCH_<name>.json")
 	traceFlag := flag.String("trace", "", "with -engine: write the run's Chrome trace-event JSON to this file")
@@ -65,6 +65,12 @@ func main() {
 	}
 	if pick("iter") {
 		if err := runIterBench(*csvDir); err != nil {
+			fail(err)
+		}
+		ran++
+	}
+	if pick("batch") {
+		if err := runBatchBench(*csvDir); err != nil {
 			fail(err)
 		}
 		ran++
@@ -221,6 +227,31 @@ func runIterBench(csvDir string) error {
 	fmt.Println("wrote BENCH_iter.json")
 	if csvDir != "" {
 		return writeCSV(csvDir, "iter", t)
+	}
+	return nil
+}
+
+// runBatchBench times the /v1/batch DAG surface against sequential
+// per-request multiplies on the 6-stage chain workload, prints the
+// table and writes BENCH_batch.json.
+func runBatchBench(csvDir string) error {
+	t, rep, err := exp.BatchBench()
+	if err != nil {
+		return err
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_batch.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_batch.json")
+	if csvDir != "" {
+		return writeCSV(csvDir, "batch", t)
 	}
 	return nil
 }

@@ -44,6 +44,7 @@ func main() {
 		faults   = flag.String("faults", "", "fault-injection spec, e.g. seed=7,rate=0.02,straggler=0.05,loseafter=40 (device engines)")
 		deadline = flag.Float64("deadline", 0, "abort the run after this many seconds (simulated for device engines, wall for cpu); 0 = none")
 		symbolic = flag.String("symbolic", "exact", "symbolic strategy: exact, estimate (sampled elision, identical output) or auto")
+		chain    = flag.Int("chain", 0, "multiply a k-stage chain (((A·B)·B)·B)... through one shared plan cache, reporting per-stage time and plan reuse (0/1 = single multiply)")
 	)
 	flag.Parse()
 	if *aPath == "" {
@@ -94,12 +95,40 @@ func main() {
 		opts.Metrics = spgemm.NewCollector()
 	}
 
-	c, report, err := eng.Run(a, b, opts)
-	if err != nil {
-		fail(err)
+	var c *spgemm.Matrix
+	var report spgemm.Report
+	if *chain > 1 {
+		// Chain mode: stage k multiplies the previous product by B
+		// through one shared plan cache. When B's pattern is closed under
+		// multiplication (block-diagonal operands), every stage after the
+		// first replays the cached symbolic plan numeric-only — the local
+		// mirror of the serving layer's /v1/batch plan sharing.
+		opts.PlanCache = spgemm.NewPlanCache(0)
+		left := a
+		for k := 1; k <= *chain; k++ {
+			stageOpts := *opts
+			stageOpts.Metrics = spgemm.NewCollector()
+			c, report, err = eng.Run(left, b, &stageOpts)
+			if err != nil {
+				fail(fmt.Errorf("chain stage %d: %w", k, err))
+			}
+			snap := stageOpts.Metrics.Snapshot()
+			fmt.Printf("stage %d: nnz(C)=%d time=%.3fms plan_cache_hit=%v\n",
+				k, report.OutputNnz(), report.Seconds()*1e3, snap["plan_cache_hits"] > 0)
+			left = c
+			opts.Metrics = stageOpts.Metrics // -trace records the final stage
+		}
+		hits, misses, _ := opts.PlanCache.Counters()
+		fmt.Printf("engine=%s stages=%d nnz(C)=%d plan_cache hits=%d misses=%d\n",
+			*engine, *chain, c.Nnz(), hits, misses)
+	} else {
+		c, report, err = eng.Run(a, b, opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("engine=%s nnz(C)=%d flops=%d time=%.3fms GFLOPS=%.3f\n",
+			*engine, report.OutputNnz(), report.FlopCount(), report.Seconds()*1e3, report.Throughput())
 	}
-	fmt.Printf("engine=%s nnz(C)=%d flops=%d time=%.3fms GFLOPS=%.3f\n",
-		*engine, report.OutputNnz(), report.FlopCount(), report.Seconds()*1e3, report.Throughput())
 	if counters := report.Counters(); opts.Faults.Enabled() {
 		fmt.Printf("recovery: retries=%d abandoned=%d fallbacks=%d failovers=%d devices_lost=%d\n",
 			counters["recovery_retries"], counters["recovery_abandoned"],
@@ -108,9 +137,16 @@ func main() {
 	}
 
 	if *verify {
-		ref, err := spgemm.MultiplyCPU(a, b, *threads)
-		if err != nil {
-			fail(err)
+		ref := a
+		stages := *chain
+		if stages < 1 {
+			stages = 1
+		}
+		var err error
+		for k := 0; k < stages; k++ {
+			if ref, err = spgemm.MultiplyCPU(ref, b, *threads); err != nil {
+				fail(err)
+			}
 		}
 		if !spgemm.Equal(c, ref, 1e-9) {
 			fail(fmt.Errorf("verification FAILED: product differs from the CPU engine"))

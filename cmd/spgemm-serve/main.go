@@ -12,21 +12,27 @@
 // snapshot is written to -snapshot before the process exits.
 //
 // Drive mode turns the same binary into a load-generating client for
-// soak tests:
+// soak tests (it speaks the versioned wire types of repro/spgemm/api/v1
+// through that package's Client):
 //
 //	spgemm-serve -drive http://127.0.0.1:8097 -clients 8 -requests 25 \
 //	    -drive-engines hybrid,cpu,panicky -expect-shed -expect-breaker
 //
-// The drive run fails (exit 1) when an -expect-* assertion does not
-// hold in the server's final /metricsz snapshot.
+// Batch-drive mode submits one /v1/batch DAG — a three-stage chain over
+// a stored handle plus a fault-injected node with a dependent — and
+// asserts the partial-failure statuses, plan sharing and the 405
+// envelope:
+//
+//	spgemm-serve -drive http://127.0.0.1:8097 -drive-batch
+//
+// The drive run fails (exit 1) when an assertion does not hold.
 package main
 
 import (
-	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
@@ -40,6 +46,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/spgemm"
+	apiv1 "repro/spgemm/api/v1"
 )
 
 func main() {
@@ -66,11 +73,18 @@ func main() {
 	expectShed := flag.Bool("expect-shed", false, "drive mode: fail unless the server shed load")
 	expectBreaker := flag.Bool("expect-breaker", false, "drive mode: fail unless a breaker tripped and jobs degraded")
 	driveReuse := flag.Bool("drive-reuse", false, "drive mode: upload one matrix and multiply by handle (repeated-pattern traffic); fails unless the plan cache got hits")
+	driveBatch := flag.Bool("drive-batch", false, "drive mode: submit a /v1/batch DAG (chain + fault-injected node) and assert partial-failure statuses")
 	flag.Parse()
 
 	if *driveURL != "" {
-		if err := drive(*driveURL, *clients, *requests,
-			strings.Split(*driveEngines, ","), *expectShed, *expectBreaker, *driveReuse); err != nil {
+		var err error
+		if *driveBatch {
+			err = driveBatchDAG(*driveURL)
+		} else {
+			err = drive(*driveURL, *clients, *requests,
+				strings.Split(*driveEngines, ","), *expectShed, *expectBreaker, *driveReuse)
+		}
+		if err != nil {
 			log.Fatal("spgemm-serve: drive: ", err)
 		}
 		return
@@ -175,24 +189,18 @@ func registerPanicky(every int64) {
 // plan cache accelerates — instead of generating a fresh operand per
 // request.
 func drive(baseURL string, clients, requests int, engines []string, expectShed, expectBreaker, reuse bool) error {
-	client := &http.Client{Timeout: 120 * time.Second}
-	if err := waitHealthy(client, baseURL, 30*time.Second); err != nil {
+	cli := apiv1.NewClient(baseURL)
+	if err := cli.WaitHealthy(30 * time.Second); err != nil {
 		return err
 	}
 
 	var handle string
 	if reuse {
-		spec := serve.MatrixSpec{Kind: "rmat", Scale: 7, EdgeFactor: 8, Seed: 100}
-		body, _ := json.Marshal(serve.MatrixRequest{Spec: &spec})
-		resp, err := client.Post(baseURL+"/v1/matrices", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return fmt.Errorf("matrix upload: %w", err)
-		}
-		var mr serve.MatrixResponse
-		err = json.NewDecoder(resp.Body).Decode(&mr)
-		resp.Body.Close()
+		mr, err := cli.StoreMatrix(apiv1.MatrixRequest{
+			Spec: &apiv1.MatrixSpec{Kind: "rmat", Scale: 7, EdgeFactor: 8, Seed: 100},
+		})
 		if err != nil || mr.Handle == "" {
-			return fmt.Errorf("matrix upload: no handle (status %d, err %v)", resp.StatusCode, err)
+			return fmt.Errorf("matrix upload: no handle (%v)", err)
 		}
 		handle = mr.Handle
 	}
@@ -209,29 +217,28 @@ func drive(baseURL string, clients, requests int, engines []string, expectShed, 
 			defer wg.Done()
 			for r := 0; r < requests; r++ {
 				engine := engines[(c*requests+r)%len(engines)]
-				req := serve.MultiplyRequest{Engine: strings.TrimSpace(engine)}
+				req := apiv1.MultiplyRequest{Engine: strings.TrimSpace(engine)}
 				if reuse {
 					req.AHandle = handle
 				} else {
-					req.A = serve.MatrixSpec{
+					req.A = apiv1.MatrixSpec{
 						Kind: "rmat", Scale: 7, EdgeFactor: 8,
 						Seed: int64(100 + c*requests + r),
 					}
 				}
-				body, _ := json.Marshal(req)
-				resp, err := client.Post(baseURL+"/v1/multiply", "application/json", bytes.NewReader(body))
+				resp, err := cli.Multiply(req)
+				status := http.StatusOK
 				if err != nil {
-					mu.Lock()
-					statuses[-1]++
-					mu.Unlock()
-					continue
+					var ae *apiv1.APIError
+					if errors.As(err, &ae) {
+						status = ae.Status
+					} else {
+						status = -1 // transport error
+					}
 				}
-				var mr serve.MultiplyResponse
-				_ = json.NewDecoder(resp.Body).Decode(&mr)
-				resp.Body.Close()
 				mu.Lock()
-				statuses[resp.StatusCode]++
-				if mr.Degraded {
+				statuses[status]++
+				if err == nil && resp.Degraded {
 					degraded++
 				}
 				mu.Unlock()
@@ -240,19 +247,10 @@ func drive(baseURL string, clients, requests int, engines []string, expectShed, 
 	}
 	wg.Wait()
 
-	// /metricsz mixes int64 counters with float hit rates; decode into
-	// float64 and truncate where ints are asserted.
-	rawSnap := map[string]float64{}
-	resp, err := client.Get(baseURL + "/metricsz")
+	// /metricsz mixes int64 counters with float hit rates; truncate
+	// where ints are asserted.
+	rawSnap, err := cli.Metrics()
 	if err != nil {
-		return fmt.Errorf("metricsz: %w", err)
-	}
-	data, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		return err
-	}
-	if err := json.Unmarshal(data, &rawSnap); err != nil {
 		return fmt.Errorf("metricsz: %w", err)
 	}
 	snap := make(map[string]int64, len(rawSnap))
@@ -296,19 +294,91 @@ func drive(baseURL string, clients, requests int, engines []string, expectShed, 
 	return nil
 }
 
-func waitHealthy(client *http.Client, baseURL string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for {
-		resp, err := client.Get(baseURL + "/healthz")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("server at %s not healthy after %v: %v", baseURL, timeout, err)
-		}
-		time.Sleep(200 * time.Millisecond)
+// driveBatchDAG soaks /v1/batch against a running server: a
+// three-stage A³ chain over a stored block-diagonal handle (whose
+// pattern is closed under multiplication, so the chain shares one
+// plan), one node on the fault-injected "panicky" engine (the server
+// must run with -chaos-panic-every 1), and a node downstream of the
+// failure. Asserts the partial-failure contract — ok/ok/ok/failed/
+// skipped — the plan sharing, the stored final handle, and the 405
+// envelope on a wrong-method request.
+func driveBatchDAG(baseURL string) error {
+	cli := apiv1.NewClient(baseURL)
+	if err := cli.WaitHealthy(30 * time.Second); err != nil {
+		return err
 	}
+	mr, err := cli.StoreMatrix(apiv1.MatrixRequest{
+		Spec: &apiv1.MatrixSpec{Kind: "blocks", N: 512, Block: 8, Seed: 42},
+	})
+	if err != nil {
+		return fmt.Errorf("matrix upload: %w", err)
+	}
+	handle := mr.Handle
+
+	resp, err := cli.Batch(apiv1.BatchRequest{
+		Engine: "cpu",
+		Nodes: []apiv1.BatchNode{
+			{ID: "s1", A: apiv1.Operand{Handle: handle}},
+			{ID: "s2", A: apiv1.Operand{Node: "s1"}, B: &apiv1.Operand{Handle: handle}},
+			{ID: "s3", A: apiv1.Operand{Node: "s2"}, B: &apiv1.Operand{Handle: handle}, Store: true},
+			{ID: "bad", Engine: "panicky", A: apiv1.Operand{Handle: handle}},
+			{ID: "dead", A: apiv1.Operand{Node: "bad"}, B: &apiv1.Operand{Handle: handle}},
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+	fmt.Printf("drive-batch: completed=%d failed=%d skipped=%d plan hits=%d misses=%d hit_rate=%.2f\n",
+		resp.Completed, resp.Failed, resp.Skipped,
+		resp.PlanCacheHits, resp.PlanCacheMisses, resp.PlanCacheHitRate)
+	for _, n := range resp.Nodes {
+		code := ""
+		if n.Error != nil {
+			code = n.Error.Code
+		}
+		fmt.Printf("drive-batch: node %-4s status=%-7s engine=%-7s plan_hit=%-5v code=%s\n",
+			n.ID, n.Status, n.Engine, n.PlanCacheHit, code)
+	}
+
+	want := map[string]string{
+		"s1": apiv1.StatusOK, "s2": apiv1.StatusOK, "s3": apiv1.StatusOK,
+		"bad": apiv1.StatusFailed, "dead": apiv1.StatusSkipped,
+	}
+	byID := map[string]apiv1.NodeResult{}
+	for _, n := range resp.Nodes {
+		byID[n.ID] = n
+	}
+	for id, status := range want {
+		if byID[id].Status != status {
+			return fmt.Errorf("node %s: status %q, want %q", id, byID[id].Status, status)
+		}
+	}
+	if code := byID["bad"].Error.Code; code != apiv1.CodeJobPanic {
+		return fmt.Errorf("failed node code %q, want %q", code, apiv1.CodeJobPanic)
+	}
+	if code := byID["dead"].Error.Code; code != apiv1.CodeUpstreamFailed {
+		return fmt.Errorf("skipped node code %q, want %q", code, apiv1.CodeUpstreamFailed)
+	}
+	if byID["s3"].Handle == "" {
+		return fmt.Errorf("store:true node s3 returned no handle")
+	}
+	if resp.PlanCacheHits < 2 {
+		return fmt.Errorf("chain shared no plans: %d hits, %d misses", resp.PlanCacheHits, resp.PlanCacheMisses)
+	}
+
+	// The consistent-HTTP-semantics contract: a wrong method gets 405,
+	// an Allow header and the envelope with code method_not_allowed.
+	httpResp, err := http.Get(baseURL + "/v1/batch")
+	if err != nil {
+		return err
+	}
+	var env apiv1.ErrorResponse
+	decodeErr := json.NewDecoder(httpResp.Body).Decode(&env)
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusMethodNotAllowed || decodeErr != nil ||
+		env.Code != apiv1.CodeMethodNotAllowed || httpResp.Header.Get("Allow") != http.MethodPost {
+		return fmt.Errorf("GET /v1/batch: status=%d allow=%q code=%q, want 405/POST/%s",
+			httpResp.StatusCode, httpResp.Header.Get("Allow"), env.Code, apiv1.CodeMethodNotAllowed)
+	}
+	return nil
 }

@@ -111,6 +111,24 @@ func (pc *PlanCache) Bytes() int64 {
 	return pc.bytes
 }
 
+// Has reports whether any plan is keyed by the fingerprint pair (as A
+// and B respectively), regardless of chunk grid or cost model. The
+// serving layer's batch planner probes it to decide whether a plan
+// group still needs its cold symbolic leader serialized.
+func (pc *PlanCache) Has(fpA, fpB uint64) bool {
+	if pc == nil {
+		return false
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for key := range pc.entries {
+		if key.fpA == fpA && key.fpB == fpB {
+			return true
+		}
+	}
+	return false
+}
+
 // Invalidate drops every plan that references the given structural
 // fingerprint (as either operand). The serving layer calls it when a
 // matrix leaves the content-addressed store, so a pattern change

@@ -2,6 +2,28 @@ package csr
 
 import "math"
 
+// fpOffset seeds the hash (the FNV-1a 64-bit offset basis); fpPrime is
+// the FNV-1a 64-bit prime, reused as the multiplier of the
+// word-at-a-time mixing below.
+const (
+	fpOffset = 14695981039346656037
+	fpPrime  = 1099511628211
+)
+
+// fpMix folds one 64-bit word into the running hash. The word is first
+// diffused with the murmur3 finalizer (so a change in any input bit
+// flips about half the word before it meets the accumulator), then
+// combined FNV-style. One multiply-xor-shift sequence per word instead
+// of eight dependent byte steps keeps fingerprinting a small, flat
+// cost on warm serving paths, where it runs per request rather than
+// per symbolic phase.
+func fpMix(h, v uint64) uint64 {
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	return (h ^ v) * fpPrime
+}
+
 // Fingerprint hashes the *structure* of a matrix — dimensions, row
 // offsets and column ids, never the values — into a 64-bit key. Two
 // matrices with the same sparsity pattern but different numeric values
@@ -10,39 +32,25 @@ import "math"
 // computed for one multiply is valid for any later multiply whose
 // operands carry the same pattern with fresh values.
 //
-// The hash is FNV-1a over the little-endian encoding of the fields.
-// It is cheap (one linear pass over the index arrays, no allocation)
-// relative to the symbolic work it lets callers skip, and collisions
-// are improbable enough for cache keying; the plan cache additionally
-// stores the dimensions so a collision can at worst alias two patterns
-// of identical shape, never cause an out-of-bounds plan.
+// The hash mixes one machine word at a time (column ids are packed in
+// pairs), making it cheap — one linear pass, no allocation — relative
+// to the symbolic work it lets callers skip. Collisions are improbable
+// enough for cache keying; the plan cache additionally stores the
+// dimensions so a collision can at worst alias two patterns of
+// identical shape, never cause an out-of-bounds plan.
 func Fingerprint(m *Matrix) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix64 := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime64
-			v >>= 8
-		}
-	}
-	mix32 := func(v uint32) {
-		for i := 0; i < 4; i++ {
-			h ^= uint64(v & 0xff)
-			h *= prime64
-			v >>= 8
-		}
-	}
-	mix64(uint64(m.Rows))
-	mix64(uint64(m.Cols))
+	h := fpMix(fpOffset, uint64(m.Rows))
+	h = fpMix(h, uint64(m.Cols))
 	for _, o := range m.RowOffsets {
-		mix64(uint64(o))
+		h = fpMix(h, uint64(o))
 	}
-	for _, c := range m.ColIDs {
-		mix32(uint32(c))
+	ids := m.ColIDs
+	for len(ids) >= 2 {
+		h = fpMix(h, uint64(uint32(ids[0]))|uint64(uint32(ids[1]))<<32)
+		ids = ids[2:]
+	}
+	if len(ids) == 1 {
+		h = fpMix(h, uint64(uint32(ids[0])))
 	}
 	return h
 }
@@ -54,18 +62,9 @@ func Fingerprint(m *Matrix) uint64 {
 // change produces a new handle that still shares the structural
 // fingerprint — and therefore the cached plan — of its pattern.
 func FingerprintValues(m *Matrix) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
+	h := uint64(fpOffset)
 	for _, v := range m.Data {
-		bits := math.Float64bits(v)
-		for i := 0; i < 8; i++ {
-			h ^= bits & 0xff
-			h *= prime64
-			bits >>= 8
-		}
+		h = fpMix(h, math.Float64bits(v))
 	}
 	return h
 }

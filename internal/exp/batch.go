@@ -1,0 +1,302 @@
+package exp
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"repro/internal/serve"
+	apiv1 "repro/spgemm/api/v1"
+)
+
+// BatchBenchReport is the machine-readable result of the batched-chain
+// benchmark (-exp=batch), written to BENCH_batch.json. It measures the
+// /v1/batch DAG surface against the sequential alternative it
+// replaces: a 6-stage Aᵏ chain submitted as one batch (plan sharing,
+// in-flight intermediates, one HTTP round trip) versus the same chain
+// issued as per-stage /v1/multiply requests that round-trip every
+// intermediate product through the matrix store via store_c.
+type BatchBenchReport struct {
+	Matrix string `json:"matrix"`
+	Rows   int    `json:"rows"`
+	Nnz    int64  `json:"nnz"`
+	Stages int    `json:"stages"`
+	// Chains is the number of timed warm chain submissions per side
+	// (median reported; the cold chain that populates the plan cache is
+	// reported separately).
+	Chains int    `json:"chains"`
+	Engine string `json:"engine"`
+	// Batch is the /v1/batch side; Sequential the per-request side, on
+	// an identical fresh server.
+	Batch      BatchChainResult `json:"batch"`
+	Sequential SeqChainResult   `json:"sequential"`
+	// LatencyRatio is batch warm seconds over sequential warm seconds —
+	// the acceptance target is <= 0.7. Speedup is its inverse.
+	LatencyRatio float64 `json:"latency_ratio"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// BatchChainResult is the /v1/batch side of the comparison. The
+// plan-cache numbers are the cold chain's: a block-diagonal pattern is
+// closed under multiplication, so every stage shares one structural
+// fingerprint pair and the whole chain pays exactly one cold symbolic
+// phase (ColdSymbolic == 1, hit rate (stages-1)/stages).
+type BatchChainResult struct {
+	ColdSeconds      float64 `json:"cold_seconds"`
+	WarmSeconds      float64 `json:"warm_seconds"`
+	PlanCacheHits    int64   `json:"plan_cache_hits"`
+	PlanCacheMisses  int64   `json:"plan_cache_misses"`
+	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+	ColdSymbolic     int64   `json:"cold_symbolic"`
+}
+
+// SeqChainResult is the sequential side: per-stage /v1/multiply with
+// store_c chaining, RequestsPerChain HTTP round trips per chain.
+type SeqChainResult struct {
+	ColdSeconds      float64 `json:"cold_seconds"`
+	WarmSeconds      float64 `json:"warm_seconds"`
+	RequestsPerChain int     `json:"requests_per_chain"`
+}
+
+const (
+	batchStages = 6
+	batchChains = 20
+	// batchWarmup chains run untimed after the cold chain on each side,
+	// so the timed loop measures the steady state rather than the
+	// process still faulting in code paths and growing its heap.
+	batchWarmup = 3
+)
+
+// batchBenchSpec is the chain operand: dense diagonal blocks, the
+// pattern-closed-under-multiplication workload (pattern(A²) ==
+// pattern(A)), sized so fixed per-request costs (HTTP round trip,
+// admission, store round-trips for every intermediate) are the
+// dominant term next to the per-stage numeric work — the
+// short-iteration regime batching targets.
+var batchBenchSpec = apiv1.MatrixSpec{Kind: "blocks", N: 128, Block: 8, Seed: 7}
+
+// BatchBench measures the tentpole acceptance numbers of the batch
+// API: one cold chain (exactly one cold symbolic phase, hit rate
+// >= 0.8) and the warm steady state (batch latency <= 0.7x
+// sequential), each side against its own fresh server. Warm chains of
+// the two sides run interleaved — batch, sequential, batch, … — so
+// ambient machine noise (GC pauses, scheduler preemption) lands on
+// both sides alike, and the reported warm seconds are medians, which
+// a single straggler chain cannot move the way it moves a mean.
+func BatchBench() (*Table, *BatchBenchReport, error) {
+	rep := &BatchBenchReport{
+		Matrix: fmt.Sprintf("blocks (n=%d, block=%d)", batchBenchSpec.N, batchBenchSpec.Block),
+		Stages: batchStages,
+		Chains: batchChains,
+		Engine: "cpu",
+	}
+
+	bs, err := newBatchSide(rep)
+	if err != nil {
+		return nil, nil, fmt.Errorf("batch bench (batch side): %w", err)
+	}
+	defer bs.close()
+	ss, err := newSeqSide(rep)
+	if err != nil {
+		return nil, nil, fmt.Errorf("batch bench (sequential side): %w", err)
+	}
+	defer ss.close()
+
+	if rep.Batch.ColdSeconds, err = bs.coldChain(rep); err != nil {
+		return nil, nil, fmt.Errorf("batch bench (cold batch chain): %w", err)
+	}
+	if rep.Sequential.ColdSeconds, err = ss.chain(); err != nil {
+		return nil, nil, fmt.Errorf("batch bench (cold sequential chain): %w", err)
+	}
+	for w := 0; w < batchWarmup; w++ {
+		if _, err := bs.chain(); err != nil {
+			return nil, nil, fmt.Errorf("batch bench (warmup): %w", err)
+		}
+		if _, err := ss.chain(); err != nil {
+			return nil, nil, fmt.Errorf("batch bench (warmup): %w", err)
+		}
+	}
+
+	batchTimes := make([]float64, 0, batchChains)
+	seqTimes := make([]float64, 0, batchChains)
+	for c := 0; c < batchChains; c++ {
+		s, err := bs.chain()
+		if err != nil {
+			return nil, nil, fmt.Errorf("batch bench (warm batch chain %d): %w", c, err)
+		}
+		batchTimes = append(batchTimes, s)
+		if s, err = ss.chain(); err != nil {
+			return nil, nil, fmt.Errorf("batch bench (warm sequential chain %d): %w", c, err)
+		}
+		seqTimes = append(seqTimes, s)
+	}
+	rep.Batch.WarmSeconds = median(batchTimes)
+	rep.Sequential.WarmSeconds = median(seqTimes)
+	rep.LatencyRatio = rep.Batch.WarmSeconds / rep.Sequential.WarmSeconds
+	rep.Speedup = 1 / rep.LatencyRatio
+
+	t := &Table{
+		Title: fmt.Sprintf("Batched chain vs sequential multiplies: %s, %d stages, %d warm chains (interleaved, median)",
+			rep.Matrix, batchStages, batchChains),
+		Header: []string{"side", "cold chain s", "warm chain s", "requests/chain"},
+		Rows: [][]string{
+			{"/v1/batch (one DAG)", fmt.Sprintf("%.4f", rep.Batch.ColdSeconds),
+				fmt.Sprintf("%.4f", rep.Batch.WarmSeconds), "1"},
+			{"/v1/multiply (store_c chain)", fmt.Sprintf("%.4f", rep.Sequential.ColdSeconds),
+				fmt.Sprintf("%.4f", rep.Sequential.WarmSeconds), fmt.Sprintf("%d", rep.Sequential.RequestsPerChain)},
+		},
+		Notes: []string{
+			fmt.Sprintf("cold batch: %d plan-cache hits, %d misses (hit rate %.2f, target >= 0.8; cold symbolic phases: %d, target exactly 1)",
+				rep.Batch.PlanCacheHits, rep.Batch.PlanCacheMisses, rep.Batch.PlanCacheHitRate, rep.Batch.ColdSymbolic),
+			fmt.Sprintf("warm latency ratio batch/sequential %.2f (target <= 0.7; speedup %.2fx)",
+				rep.LatencyRatio, rep.Speedup),
+			"written to BENCH_batch.json by cmd/spgemm-bench -exp=batch",
+		},
+	}
+	return t, rep, nil
+}
+
+// chainBatchRequest is the 6-stage Aᵏ chain as one DAG: stage 1 is
+// A·A, stage k consumes stage k-1's in-flight output, the final stage
+// persists its product.
+func chainBatchRequest(handle string) apiv1.BatchRequest {
+	nodes := []apiv1.BatchNode{{ID: "s1", A: apiv1.Operand{Handle: handle}}}
+	for k := 2; k <= batchStages; k++ {
+		n := apiv1.BatchNode{
+			ID: fmt.Sprintf("s%d", k),
+			A:  apiv1.Operand{Node: fmt.Sprintf("s%d", k-1)},
+			B:  &apiv1.Operand{Handle: handle},
+		}
+		if k == batchStages {
+			n.Store = true
+		}
+		nodes = append(nodes, n)
+	}
+	// One thread: the chain stages are tiny, so the multi-core fan-out
+	// would cost more than the numeric work and mask the per-request
+	// overheads under comparison (both sides get the same setting).
+	return apiv1.BatchRequest{Engine: "cpu", Threads: 1, Nodes: nodes}
+}
+
+// batchSide is the /v1/batch half of the comparison: its own server
+// and one prebuilt chain request.
+type batchSide struct {
+	srv *serve.Server
+	ts  *httptest.Server
+	cli *apiv1.Client
+	req apiv1.BatchRequest
+}
+
+func newBatchSide(rep *BatchBenchReport) (*batchSide, error) {
+	srv := serve.New(serve.Config{MaxConcurrent: 2})
+	ts := httptest.NewServer(srv.Handler())
+	cli := apiv1.NewClient(ts.URL)
+	mr, err := cli.StoreMatrix(apiv1.MatrixRequest{Spec: &batchBenchSpec})
+	if err != nil {
+		ts.Close()
+		srv.Drain(0)
+		return nil, err
+	}
+	rep.Rows, rep.Nnz = mr.Rows, mr.Nnz
+	return &batchSide{srv: srv, ts: ts, cli: cli, req: chainBatchRequest(mr.Handle)}, nil
+}
+
+func (s *batchSide) close() {
+	s.ts.Close()
+	s.srv.Drain(0)
+}
+
+// coldChain runs the first chain and records its plan-cache numbers —
+// the acceptance evidence that the whole chain paid one symbolic phase.
+func (s *batchSide) coldChain(rep *BatchBenchReport) (float64, error) {
+	start := time.Now()
+	resp, err := s.cli.Batch(s.req)
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start).Seconds()
+	if resp.Completed != batchStages {
+		return 0, fmt.Errorf("cold chain: %d/%d nodes completed (failed %d, skipped %d)",
+			resp.Completed, batchStages, resp.Failed, resp.Skipped)
+	}
+	rep.Batch.PlanCacheHits = resp.PlanCacheHits
+	rep.Batch.PlanCacheMisses = resp.PlanCacheMisses
+	rep.Batch.PlanCacheHitRate = resp.PlanCacheHitRate
+	rep.Batch.ColdSymbolic = resp.PlanCacheMisses
+	return elapsed, nil
+}
+
+func (s *batchSide) chain() (float64, error) {
+	start := time.Now()
+	resp, err := s.cli.Batch(s.req)
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start).Seconds()
+	if resp.Completed != batchStages {
+		return 0, fmt.Errorf("%d/%d nodes completed", resp.Completed, batchStages)
+	}
+	return elapsed, nil
+}
+
+// seqSide is the per-request half: its own server, chaining stage
+// products through the matrix store via store_c/c_handle.
+type seqSide struct {
+	srv    *serve.Server
+	ts     *httptest.Server
+	cli    *apiv1.Client
+	handle string
+}
+
+func newSeqSide(rep *BatchBenchReport) (*seqSide, error) {
+	srv := serve.New(serve.Config{MaxConcurrent: 2})
+	ts := httptest.NewServer(srv.Handler())
+	cli := apiv1.NewClient(ts.URL)
+	mr, err := cli.StoreMatrix(apiv1.MatrixRequest{Spec: &batchBenchSpec})
+	if err != nil {
+		ts.Close()
+		srv.Drain(0)
+		return nil, err
+	}
+	rep.Sequential.RequestsPerChain = batchStages
+	return &seqSide{srv: srv, ts: ts, cli: cli, handle: mr.Handle}, nil
+}
+
+func (s *seqSide) close() {
+	s.ts.Close()
+	s.srv.Drain(0)
+}
+
+func (s *seqSide) chain() (float64, error) {
+	start := time.Now()
+	prev := ""
+	for k := 1; k <= batchStages; k++ {
+		req := apiv1.MultiplyRequest{Engine: "cpu", Threads: 1, StoreC: true}
+		if k == 1 {
+			req.AHandle = s.handle // B defaults to A
+		} else {
+			req.AHandle, req.BHandle = prev, s.handle
+		}
+		resp, err := s.cli.Multiply(req)
+		if err != nil {
+			return 0, fmt.Errorf("stage %d: %w", k, err)
+		}
+		if resp.CHandle == "" {
+			return 0, fmt.Errorf("stage %d: store_c returned no c_handle", k)
+		}
+		prev = resp.CHandle
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// median of a non-empty slice (sorts a copy).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

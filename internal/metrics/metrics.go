@@ -273,6 +273,15 @@ const (
 	CounterServeBreakerProbes    = "serve_breaker_probes"
 	CounterServeBreakerCloses    = "serve_breaker_closes"
 
+	// Batch counters, published by the /v1/batch planner. Accepted and
+	// completed count whole DAGs (a batch with failed nodes still
+	// completes); skipped counts nodes never run because an upstream
+	// dependency failed. Node outcomes feed the serve_jobs_* family
+	// above, one unit per node.
+	CounterServeBatchesAccepted  = "serve_batches_accepted"
+	CounterServeBatchesCompleted = "serve_batches_completed"
+	CounterServeBatchSkipped     = "serve_batch_nodes_skipped"
+
 	// Plan-cache counters, published per run by engines given a
 	// core.PlanCache (hits+misses reconciles with the job count) and in
 	// aggregate by the serving layer's /metricsz. Evictions counts

@@ -83,6 +83,27 @@ func (e *UnknownHandleError) Error() string {
 	return fmt.Sprintf("serve: unknown matrix handle %q (re-upload via /v1/matrices)", e.Handle)
 }
 
+// BatchError rejects a whole /v1/batch request before admission: the
+// DAG cannot be scheduled (invalid graph or an operand shape
+// mismatch). Code is the apiv1 envelope code; the HTTP layer maps any
+// BatchError to 400.
+type BatchError struct {
+	// Code is the machine-readable envelope code ("invalid_dag" or
+	// "shape_mismatch").
+	Code string
+	// Node is the offending node id ("" when the whole graph is at
+	// fault); Reason is the human-readable diagnosis.
+	Node   string
+	Reason string
+}
+
+func (e *BatchError) Error() string {
+	if e.Node == "" {
+		return fmt.Sprintf("serve: batch rejected (%s): %s", e.Code, e.Reason)
+	}
+	return fmt.Sprintf("serve: batch rejected (%s) at node %q: %s", e.Code, e.Node, e.Reason)
+}
+
 // RetryAfter extracts the retry-after hint from a shedding error
 // chain (ok is false when err carries none).
 func RetryAfter(err error) (d time.Duration, ok bool) {

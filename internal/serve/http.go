@@ -12,132 +12,26 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/spgemm"
+	apiv1 "repro/spgemm/api/v1"
 )
 
-// MatrixSpec describes a generated operand for the HTTP API, so
-// clients submit matrix *recipes* instead of shipping coordinate data.
-// Kind selects the generator: "rmat" (Scale, EdgeFactor), "er" (Rows,
-// Cols, Density), "band" (N, Half). Seed feeds all of them.
-type MatrixSpec struct {
-	Kind       string  `json:"kind"`
-	Scale      uint    `json:"scale,omitempty"`
-	EdgeFactor int     `json:"edge_factor,omitempty"`
-	Rows       int     `json:"rows,omitempty"`
-	Cols       int     `json:"cols,omitempty"`
-	Density    float64 `json:"density,omitempty"`
-	N          int     `json:"n,omitempty"`
-	Half       int     `json:"half,omitempty"`
-	Seed       int64   `json:"seed,omitempty"`
-}
+// The wire types moved to the public versioned package
+// repro/spgemm/api/v1 (shared by the server, the drive harnesses and
+// the thin client). The aliases keep the old internal names working.
+type (
+	// MatrixSpec aliases apiv1.MatrixSpec.
+	MatrixSpec = apiv1.MatrixSpec
+	// MultiplyRequest aliases apiv1.MultiplyRequest.
+	MultiplyRequest = apiv1.MultiplyRequest
+	// MatrixRequest aliases apiv1.MatrixRequest.
+	MatrixRequest = apiv1.MatrixRequest
+	// MatrixResponse aliases apiv1.MatrixResponse.
+	MatrixResponse = apiv1.MatrixResponse
+	// MultiplyResponse aliases apiv1.MultiplyResponse.
+	MultiplyResponse = apiv1.MultiplyResponse
 
-// maxGenDim caps generated matrix dimensions so a single request
-// cannot ask the server to materialize an absurd operand: generation
-// happens before admission control can weigh the job.
-const maxGenDim = 1 << 22
-
-// Build materializes the spec.
-func (m MatrixSpec) Build() (*spgemm.Matrix, error) {
-	switch m.Kind {
-	case "rmat":
-		scale := m.Scale
-		if scale == 0 {
-			scale = 10
-		}
-		if scale > 22 {
-			return nil, fmt.Errorf("serve: rmat scale %d too large (max 22)", scale)
-		}
-		ef := m.EdgeFactor
-		if ef <= 0 {
-			ef = 8
-		}
-		return spgemm.RMAT(scale, ef, 0.57, 0.19, 0.19, m.Seed), nil
-	case "er":
-		rows, cols := m.Rows, m.Cols
-		if rows <= 0 {
-			rows = 1024
-		}
-		if cols <= 0 {
-			cols = rows
-		}
-		if rows > maxGenDim || cols > maxGenDim {
-			return nil, fmt.Errorf("serve: er dimensions %dx%d too large (max %d)", rows, cols, maxGenDim)
-		}
-		p := m.Density
-		if p <= 0 {
-			p = 0.01
-		}
-		return spgemm.ER(rows, cols, p, m.Seed), nil
-	case "band":
-		n, half := m.N, m.Half
-		if n <= 0 {
-			n = 1024
-		}
-		if n > maxGenDim {
-			return nil, fmt.Errorf("serve: band n %d too large (max %d)", n, maxGenDim)
-		}
-		if half <= 0 {
-			half = 8
-		}
-		return spgemm.Band(n, half, m.Seed), nil
-	default:
-		return nil, fmt.Errorf("serve: unknown matrix kind %q (want rmat, er or band)", m.Kind)
-	}
-}
-
-// MultiplyRequest is the POST /v1/multiply body. Operands come either
-// as specs or as handles into the matrix store (a handle wins over
-// its spec); B defaults to the same matrix as A (the common A·A graph
-// workload).
-type MultiplyRequest struct {
-	Engine      string      `json:"engine"`
-	A           MatrixSpec  `json:"a"`
-	B           *MatrixSpec `json:"b,omitempty"`
-	AHandle     string      `json:"a_handle,omitempty"`
-	BHandle     string      `json:"b_handle,omitempty"`
-	DeadlineSec float64     `json:"deadline_sec,omitempty"`
-	Threads     int         `json:"threads,omitempty"`
-	NumGPUs     int         `json:"num_gpus,omitempty"`
-}
-
-// MatrixRequest is the POST /v1/matrices body: either a spec to build
-// and store, or a stored handle plus a values seed to re-value (same
-// pattern, fresh deterministic values — the iterative-workload upload
-// that keeps cached plans warm).
-type MatrixRequest struct {
-	Spec       *MatrixSpec `json:"spec,omitempty"`
-	Handle     string      `json:"handle,omitempty"`
-	ValuesSeed int64       `json:"values_seed,omitempty"`
-}
-
-// MatrixResponse describes a stored matrix. StructureFP is the
-// sparsity-pattern fingerprint: two handles sharing it share cached
-// plans.
-type MatrixResponse struct {
-	Handle      string `json:"handle"`
-	Rows        int    `json:"rows"`
-	Cols        int    `json:"cols"`
-	Nnz         int64  `json:"nnz"`
-	Bytes       int64  `json:"bytes"`
-	StructureFP string `json:"structure_fingerprint"`
-}
-
-// MultiplyResponse reports a completed job.
-type MultiplyResponse struct {
-	Requested string  `json:"requested"`
-	Engine    string  `json:"engine"`
-	Degraded  bool    `json:"degraded"`
-	Rows      int     `json:"rows"`
-	Cols      int     `json:"cols"`
-	NnzC      int64   `json:"nnz_c"`
-	Flops     int64   `json:"flops"`
-	Seconds   float64 `json:"seconds"`
-	GFLOPS    float64 `json:"gflops"`
-}
-
-type errorResponse struct {
-	Error         string  `json:"error"`
-	RetryAfterSec float64 `json:"retry_after_sec,omitempty"`
-}
+	errorResponse = apiv1.ErrorResponse
+)
 
 // Handler returns the server's HTTP surface:
 //
@@ -145,23 +39,50 @@ type errorResponse struct {
 //	GET    /readyz               — readiness (503 once draining) + breaker states
 //	GET    /metricsz             — the flat metrics snapshot + cache hit rates as JSON
 //	POST   /v1/multiply          — submit a job (429 + Retry-After when shed)
+//	POST   /v1/batch             — submit a DAG of multiplies (per-node statuses)
 //	POST   /v1/matrices          — store a matrix (spec) or re-value a handle
 //	DELETE /v1/matrices/{handle} — drop a stored matrix (and orphaned plans)
+//
+// Every route answers a wrong method with 405, an Allow header and the
+// shared error envelope; every error path emits the envelope with a
+// machine-readable code from the apiv1 taxonomy.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/readyz", s.handleReadyz)
-	mux.HandleFunc("/metricsz", s.handleMetricsz)
-	mux.HandleFunc("/v1/multiply", s.handleMultiply)
-	mux.HandleFunc("/v1/matrices", s.handleMatrices)
-	mux.HandleFunc("/v1/matrices/", s.handleMatrixByHandle)
+	mux.HandleFunc("/healthz", guarded(http.MethodGet, s.handleHealthz))
+	mux.HandleFunc("/readyz", guarded(http.MethodGet, s.handleReadyz))
+	mux.HandleFunc("/metricsz", guarded(http.MethodGet, s.handleMetricsz))
+	mux.HandleFunc("/v1/multiply", guarded(http.MethodPost, s.handleMultiply))
+	mux.HandleFunc("/v1/batch", guarded(http.MethodPost, s.handleBatch))
+	mux.HandleFunc("/v1/matrices", guarded(http.MethodPost, s.handleMatrices))
+	mux.HandleFunc("/v1/matrices/", guarded(http.MethodDelete, s.handleMatrixByHandle))
 	return mux
+}
+
+// guarded enforces one allowed method per route: anything else is 405
+// with the Allow header and the shared envelope.
+func guarded(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{
+				Code:  apiv1.CodeMethodNotAllowed,
+				Error: fmt.Sprintf("method %s not allowed (use %s)", r.Method, method),
+			})
+			return
+		}
+		h(w, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeBadRequest emits the envelope for a client-side request error.
+func writeBadRequest(w http.ResponseWriter, msg string) {
+	writeJSON(w, http.StatusBadRequest, errorResponse{Code: apiv1.CodeBadRequest, Error: msg})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -208,13 +129,9 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 // handleMatrices stores a matrix from a spec, or re-values a stored
 // handle when the body names one.
 func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
-		return
-	}
 	var req MatrixRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		writeBadRequest(w, "bad request body: "+err.Error())
 		return
 	}
 	var handle string
@@ -223,7 +140,7 @@ func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
 	case req.Handle != "":
 		handle, err = s.RevalueMatrix(req.Handle, req.ValuesSeed)
 		if err != nil {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			writeJSON(w, http.StatusNotFound, errorResponse{Code: apiv1.CodeUnknownHandle, Error: err.Error()})
 			return
 		}
 	case req.Spec != nil:
@@ -236,7 +153,7 @@ func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	default:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "need spec or handle"})
+		writeBadRequest(w, "need spec or handle")
 		return
 	}
 	m, _ := s.Matrix(handle)
@@ -249,32 +166,24 @@ func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
 // handleMatrixByHandle serves DELETE /v1/matrices/{handle}.
 func (s *Server) handleMatrixByHandle(w http.ResponseWriter, r *http.Request) {
 	handle := strings.TrimPrefix(r.URL.Path, "/v1/matrices/")
-	if r.Method != http.MethodDelete {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "DELETE only"})
-		return
-	}
 	if !s.DeleteMatrix(handle) {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: (&UnknownHandleError{Handle: handle}).Error()})
+		s.writeError(w, &UnknownHandleError{Handle: handle})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": handle})
 }
 
 func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
-		return
-	}
 	var req MultiplyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		writeBadRequest(w, "bad request body: "+err.Error())
 		return
 	}
 	var a, b *spgemm.Matrix
 	var err error
 	if req.AHandle == "" {
 		if a, err = req.A.Build(); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			writeBadRequest(w, err.Error())
 			return
 		}
 	}
@@ -282,7 +191,7 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case req.B != nil:
 		if b, err = req.B.Build(); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			writeBadRequest(w, err.Error())
 			return
 		}
 	case bHandle == "":
@@ -312,23 +221,46 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		resp.Seconds = res.Report.Seconds()
 		resp.GFLOPS = res.Report.Throughput()
 	}
+	if req.StoreC {
+		if resp.CHandle, err = s.StoreMatrix(res.C); err != nil {
+			s.writeError(w, err)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// writeError maps the serving error taxonomy onto HTTP statuses:
-// shedding is 429/503 with a Retry-After hint, a panic is a 500 for
-// that job only, a deadline is 504, an up-front OOM rejection is 413.
+// handleBatch serves POST /v1/batch: one DAG of multiplies, admitted
+// as a unit, with per-node statuses in the response.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeBadRequest(w, "bad request body: "+err.Error())
+		return
+	}
+	resp, err := s.SubmitBatch(&req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeError maps the serving error taxonomy onto HTTP statuses and
+// envelope codes: shedding is 429 with a Retry-After hint (header and
+// body), a panic is a 500 for that job only, a deadline is 504, an
+// up-front OOM rejection is 413, an unresolvable handle 404, a
+// rejected batch DAG 400.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
-	resp := errorResponse{Error: err.Error()}
+	code := ErrorCode(err)
+	resp := errorResponse{Code: code, Error: err.Error()}
 	var status int
-	var de *DrainingError
-	var uh *UnknownHandleError
-	switch {
-	case errors.As(err, &uh):
+	switch code {
+	case apiv1.CodeUnknownHandle:
 		status = http.StatusNotFound
-	case errors.As(err, &de):
+	case apiv1.CodeDraining:
 		status = http.StatusServiceUnavailable
-	case faults.Shedding(err):
+	case apiv1.CodeOverloaded, apiv1.CodeQueueFull:
 		status = http.StatusTooManyRequests
 		retry := time.Second
 		if d, ok := RetryAfter(err); ok {
@@ -336,14 +268,48 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		}
 		resp.RetryAfterSec = retry.Seconds()
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int64(math.Ceil(retry.Seconds()))))
-	case errors.Is(err, faults.ErrJobPanic):
+	case apiv1.CodeJobPanic, apiv1.CodeDeviceLost:
 		status = http.StatusInternalServerError
-	case errors.Is(err, faults.ErrDeadline):
+	case apiv1.CodeDeadline:
 		status = http.StatusGatewayTimeout
-	case errors.Is(err, faults.ErrOOM):
+	case apiv1.CodeOOM:
 		status = http.StatusRequestEntityTooLarge
 	default:
 		status = http.StatusBadRequest
 	}
 	writeJSON(w, status, resp)
+}
+
+// ErrorCode maps a serving error onto the machine-readable envelope
+// code of the apiv1 taxonomy. Unknown errors are client errors
+// (CodeBadRequest): the scheduler rejects them before running anything.
+func ErrorCode(err error) string {
+	var be *BatchError
+	var uh *UnknownHandleError
+	var de *DrainingError
+	var oe *OverloadError
+	var qe *QueueFullError
+	switch {
+	case errors.As(err, &be):
+		return be.Code
+	case errors.As(err, &uh):
+		return apiv1.CodeUnknownHandle
+	case errors.As(err, &de):
+		// Before the Shedding check: DrainingError wraps ErrOverloaded.
+		return apiv1.CodeDraining
+	case errors.As(err, &oe):
+		return apiv1.CodeOverloaded
+	case errors.As(err, &qe):
+		return apiv1.CodeQueueFull
+	case errors.Is(err, faults.ErrJobPanic):
+		return apiv1.CodeJobPanic
+	case errors.Is(err, faults.ErrDeadline):
+		return apiv1.CodeDeadline
+	case errors.Is(err, faults.ErrOOM):
+		return apiv1.CodeOOM
+	case errors.Is(err, faults.ErrDeviceLost):
+		return apiv1.CodeDeviceLost
+	default:
+		return apiv1.CodeBadRequest
+	}
 }

@@ -25,9 +25,20 @@
 //     finish within the drain deadline, abandons what remains, and
 //     returns the final metrics snapshot.
 //
-// The HTTP surface (Handler) exposes /healthz, /readyz, /metricsz and
-// POST /v1/multiply; cmd/spgemm-serve wires it to a daemon with
-// SIGTERM-triggered drain.
+// On top of single multiplies, SubmitBatch (POST /v1/batch) schedules
+// a whole DAG of multiplies as one admission unit: validated up front
+// (unknown handles, cycles, shape mismatches), planned so nodes
+// sharing a structural fingerprint pay one cold symbolic phase and
+// replay numeric-only via the shared plan cache, and pipelined so a
+// chain stage consumes its predecessor's output from an in-flight
+// namespace without a round trip through the matrix store. Failure is
+// partial: a failed node fails alone, its downstream nodes are
+// skipped, everything else completes.
+//
+// The HTTP surface (Handler) exposes /healthz, /readyz, /metricsz,
+// POST /v1/multiply and POST /v1/batch; cmd/spgemm-serve wires it to
+// a daemon with SIGTERM-triggered drain. The wire types live in the
+// public versioned package repro/spgemm/api/v1.
 package serve
 
 import (
@@ -399,6 +410,16 @@ func (s *Server) finish(t *task, res *Result) {
 	defer s.mu.Unlock()
 	s.inflight--
 	s.inflightFlops -= t.cost.Flops
+	s.settleLocked(t, res)
+}
+
+// settleLocked publishes a finished task's outcome counters,
+// aggregates its recovery/plan-cache/symbolic counters, and feeds its
+// recovery signal to the engine's breaker. It does NOT touch the
+// admission accounting — finish does that per job; the batch executor
+// accounts a whole DAG as one unit and settles each node through here.
+// The caller holds s.mu.
+func (s *Server) settleLocked(t *task, res *Result) {
 	switch {
 	case res.Abandoned:
 		s.metrics.Add(metrics.CounterServeAbandoned, 1)

@@ -1,0 +1,106 @@
+package apiv1
+
+// MaxBatchNodes bounds the DAG size of one /v1/batch request. The cap
+// keeps a single request from monopolizing the scheduler; iterative
+// clients submit successive batches instead.
+const MaxBatchNodes = 64
+
+// Operand names one input of a batch node — exactly one of the three
+// fields must be set:
+//
+//   - Handle references a stored matrix (POST /v1/matrices).
+//   - Node references the output of another node in the same batch,
+//     consumed directly from the in-flight namespace without a round
+//     trip through the matrix store.
+//   - Spec builds a generated operand in place.
+type Operand struct {
+	Handle string      `json:"handle,omitempty"`
+	Node   string      `json:"node,omitempty"`
+	Spec   *MatrixSpec `json:"spec,omitempty"`
+}
+
+// BatchNode is one multiply of the DAG: C(id) = A·B. B defaults to the
+// same operand as A (the A·A convention shared with /v1/multiply).
+// Engine defaults to the batch-level engine. Store additionally
+// persists the node's output into the matrix store, returning its
+// handle in the node result — outputs without Store live only for the
+// duration of the batch.
+type BatchNode struct {
+	ID     string   `json:"id"`
+	Engine string   `json:"engine,omitempty"`
+	A      Operand  `json:"a"`
+	B      *Operand `json:"b,omitempty"`
+	Store  bool     `json:"store,omitempty"`
+}
+
+// BatchRequest is the POST /v1/batch body: a DAG of multiplies over
+// stored handles, generated specs and each other's outputs, admitted
+// as one unit under a single cost estimate. Engine, DeadlineSec,
+// Threads and NumGPUs are batch-level defaults every node inherits.
+type BatchRequest struct {
+	Engine      string      `json:"engine,omitempty"`
+	DeadlineSec float64     `json:"deadline_sec,omitempty"`
+	Threads     int         `json:"threads,omitempty"`
+	NumGPUs     int         `json:"num_gpus,omitempty"`
+	Nodes       []BatchNode `json:"nodes"`
+}
+
+// Node statuses of a batch response.
+const (
+	// StatusOK is a node that ran and produced its product.
+	StatusOK = "ok"
+	// StatusFailed is a node that was rejected (unknown handle, bad
+	// spec) or whose engine run failed; Error carries the envelope.
+	StatusFailed = "failed"
+	// StatusSkipped is a node never run because an upstream dependency
+	// failed or was itself skipped.
+	StatusSkipped = "skipped"
+)
+
+// NodeResult reports one node of a finished batch. Exactly the nodes
+// with Status == StatusOK carry result fields; failed nodes carry the
+// shared error envelope; skipped nodes carry an envelope with code
+// CodeUpstreamFailed naming the failed dependency.
+type NodeResult struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	// Engine is the engine that ran the node after breaker routing;
+	// Degraded reports whether a tripped breaker rerouted it.
+	Engine   string `json:"engine,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
+	// Rows, Cols, NnzC, Flops and Seconds as in MultiplyResponse.
+	Rows    int     `json:"rows,omitempty"`
+	Cols    int     `json:"cols,omitempty"`
+	NnzC    int64   `json:"nnz_c,omitempty"`
+	Flops   int64   `json:"flops,omitempty"`
+	Seconds float64 `json:"seconds,omitempty"`
+	// PlanCacheHit reports whether the node replayed a cached symbolic
+	// plan (numeric-only) instead of running a cold symbolic phase.
+	PlanCacheHit bool `json:"plan_cache_hit,omitempty"`
+	// Handle is the stored output (nodes with Store only).
+	Handle string         `json:"handle,omitempty"`
+	Error  *ErrorResponse `json:"error,omitempty"`
+}
+
+// BatchResponse reports a finished batch: per-node statuses in request
+// order plus the batch-level accounting. A batch that was admitted
+// always returns 200 with this body — partial failure lives in the
+// node statuses, not the HTTP status.
+type BatchResponse struct {
+	Nodes     []NodeResult `json:"nodes"`
+	Completed int          `json:"completed"`
+	Failed    int          `json:"failed"`
+	Skipped   int          `json:"skipped"`
+	// Seconds is the wall-clock duration of the whole batch execution.
+	Seconds float64 `json:"seconds"`
+	// EstimatedFlops is the single admission estimate the DAG was
+	// admitted under.
+	EstimatedFlops int64 `json:"estimated_flops"`
+	// PlanCacheHits/Misses aggregate the nodes' plan-cache traffic;
+	// ColdSymbolic == PlanCacheMisses is the number of cold symbolic
+	// phases the batch paid (the plan-sharing target for an iterative
+	// chain is exactly one).
+	PlanCacheHits    int64   `json:"plan_cache_hits"`
+	PlanCacheMisses  int64   `json:"plan_cache_misses"`
+	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+}

@@ -1,0 +1,147 @@
+package apiv1
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// APIError is a non-2xx response decoded from the uniform error
+// envelope. Clients dispatch on Code (and Status); RetryAfterSec is
+// populated on shed responses.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code, Message and RetryAfterSec mirror the envelope fields.
+	Code          string
+	Message       string
+	RetryAfterSec float64
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("apiv1: server returned %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// Client is the thin Go client of the /v1 API: one method per
+// endpoint, JSON in, JSON out, every non-2xx decoded into *APIError.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8097".
+	BaseURL string
+	// HTTP is the underlying client; nil means a client with a
+	// 120-second timeout (multiplies are long-running requests).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 120 * time.Second}}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 120 * time.Second}
+}
+
+// do sends one request and decodes the response into out (skipped when
+// out is nil). Non-2xx responses become *APIError.
+func (c *Client) do(method, path string, in, out any) error {
+	var body *bytes.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var env ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&env)
+		return &APIError{
+			Status: resp.StatusCode, Code: env.Code,
+			Message: env.Error, RetryAfterSec: env.RetryAfterSec,
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Multiply submits one job to POST /v1/multiply.
+func (c *Client) Multiply(req MultiplyRequest) (*MultiplyResponse, error) {
+	var out MultiplyResponse
+	if err := c.do(http.MethodPost, "/v1/multiply", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch submits a DAG of multiplies to POST /v1/batch. A non-nil
+// response means the batch was admitted; per-node failures live in the
+// node statuses.
+func (c *Client) Batch(req BatchRequest) (*BatchResponse, error) {
+	var out BatchResponse
+	if err := c.do(http.MethodPost, "/v1/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// StoreMatrix uploads a spec (or re-values a handle) via POST
+// /v1/matrices and returns the stored matrix description.
+func (c *Client) StoreMatrix(req MatrixRequest) (*MatrixResponse, error) {
+	var out MatrixResponse
+	if err := c.do(http.MethodPost, "/v1/matrices", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteMatrix drops a stored handle via DELETE /v1/matrices/{handle}.
+func (c *Client) DeleteMatrix(handle string) error {
+	return c.do(http.MethodDelete, "/v1/matrices/"+handle, nil, nil)
+}
+
+// Metrics fetches the flat /metricsz snapshot. Integer counters and
+// float hit rates share the map; truncate where ints are asserted.
+func (c *Client) Metrics() (map[string]float64, error) {
+	out := map[string]float64{}
+	if err := c.do(http.MethodGet, "/metricsz", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WaitHealthy polls GET /healthz until the server answers 200 or the
+// timeout passes.
+func (c *Client) WaitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		err := c.do(http.MethodGet, "/healthz", nil, nil)
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("apiv1: server at %s not healthy after %v: %w", c.BaseURL, timeout, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

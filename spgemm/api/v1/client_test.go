@@ -1,0 +1,97 @@
+package apiv1
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestClientDecodesEnvelope stubs a server speaking the uniform
+// envelope and checks the client turns every non-2xx into a typed
+// *APIError carrying status, code, message and the retry hint.
+func TestClientDecodesEnvelope(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/multiply":
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(ErrorResponse{
+				Code: CodeOverloaded, Error: "serve: overloaded", RetryAfterSec: 2,
+			})
+		case "/v1/matrices/ghost":
+			w.WriteHeader(http.StatusNotFound)
+			_ = json.NewEncoder(w).Encode(ErrorResponse{Code: CodeUnknownHandle, Error: "no such handle"})
+		default:
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("{}"))
+		}
+	}))
+	defer ts.Close()
+	cli := NewClient(ts.URL)
+
+	_, err := cli.Multiply(MultiplyRequest{Engine: "cpu"})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if ae.Status != http.StatusTooManyRequests || ae.Code != CodeOverloaded || ae.RetryAfterSec != 2 {
+		t.Fatalf("APIError = %+v", ae)
+	}
+	if ae.Error() == "" || ae.Message != "serve: overloaded" {
+		t.Fatalf("message lost: %+v", ae)
+	}
+
+	err = cli.DeleteMatrix("ghost")
+	if !errors.As(err, &ae) || ae.Status != http.StatusNotFound || ae.Code != CodeUnknownHandle {
+		t.Fatalf("delete err = %v", err)
+	}
+}
+
+// TestClientRoundTrips checks the happy-path encode/decode of the
+// endpoint methods against a recording stub.
+func TestClientRoundTrips(t *testing.T) {
+	var gotPath, gotMethod string
+	var gotBody BatchRequest
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath, gotMethod = r.URL.Path, r.Method
+		switch r.URL.Path {
+		case "/v1/batch":
+			_ = json.NewDecoder(r.Body).Decode(&gotBody)
+			_ = json.NewEncoder(w).Encode(BatchResponse{
+				Completed: 1,
+				Nodes:     []NodeResult{{ID: "s1", Status: StatusOK, NnzC: 9}},
+			})
+		case "/metricsz":
+			_ = json.NewEncoder(w).Encode(map[string]float64{"serve_jobs_accepted": 3})
+		default:
+			_, _ = w.Write([]byte("{}"))
+		}
+	}))
+	defer ts.Close()
+	cli := NewClient(ts.URL)
+
+	resp, err := cli.Batch(BatchRequest{Engine: "cpu", Nodes: []BatchNode{{ID: "s1", A: Operand{Handle: "h"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPath != "/v1/batch" || gotMethod != http.MethodPost {
+		t.Fatalf("request went to %s %s", gotMethod, gotPath)
+	}
+	if len(gotBody.Nodes) != 1 || gotBody.Nodes[0].ID != "s1" {
+		t.Fatalf("server saw %+v", gotBody)
+	}
+	if resp.Completed != 1 || resp.Nodes[0].NnzC != 9 {
+		t.Fatalf("batch response = %+v", resp)
+	}
+
+	metricsSnap, err := cli.Metrics()
+	if err != nil || metricsSnap["serve_jobs_accepted"] != 3 {
+		t.Fatalf("metrics = %v %v", metricsSnap, err)
+	}
+	if err := cli.WaitHealthy(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package apiv1 is the versioned wire-type package of the serving
+// layer: the JSON request, response and error-envelope types spoken on
+// every /v1/* endpoint, shared by the server (internal/serve), the
+// drive harnesses of cmd/spgemm-serve, the batch benchmark and the
+// thin Client in this package.
+//
+// The field names are the wire contract. They are covered by a
+// stability test (wire_test.go) and must never change within v1;
+// additions are allowed, renames and removals get a new version
+// package.
+//
+// Every error, on every endpoint, is the same envelope
+// (ErrorResponse): a machine-readable code from the Code* taxonomy, a
+// human-readable message, and — on 429 responses — a retry-after hint
+// mirroring the Retry-After header.
+package apiv1
+
+import (
+	"fmt"
+
+	"repro/spgemm"
+)
+
+// MatrixSpec describes a generated operand, so clients submit matrix
+// *recipes* instead of shipping coordinate data. Kind selects the
+// generator: "rmat" (Scale, EdgeFactor), "er" (Rows, Cols, Density),
+// "band" (N, Half), "blocks" (N, Block — dense diagonal blocks, whose
+// sparsity pattern is closed under multiplication: the pattern of A²
+// equals the pattern of A, the iterative-chain workload). Seed feeds
+// all of them.
+type MatrixSpec struct {
+	Kind       string  `json:"kind"`
+	Scale      uint    `json:"scale,omitempty"`
+	EdgeFactor int     `json:"edge_factor,omitempty"`
+	Rows       int     `json:"rows,omitempty"`
+	Cols       int     `json:"cols,omitempty"`
+	Density    float64 `json:"density,omitempty"`
+	N          int     `json:"n,omitempty"`
+	Half       int     `json:"half,omitempty"`
+	Block      int     `json:"block,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+}
+
+// maxGenDim caps generated matrix dimensions so a single request
+// cannot ask the server to materialize an absurd operand: generation
+// happens before admission control can weigh the job.
+const maxGenDim = 1 << 22
+
+// Build materializes the spec.
+func (m MatrixSpec) Build() (*spgemm.Matrix, error) {
+	switch m.Kind {
+	case "rmat":
+		scale := m.Scale
+		if scale == 0 {
+			scale = 10
+		}
+		if scale > 22 {
+			return nil, fmt.Errorf("apiv1: rmat scale %d too large (max 22)", scale)
+		}
+		ef := m.EdgeFactor
+		if ef <= 0 {
+			ef = 8
+		}
+		return spgemm.RMAT(scale, ef, 0.57, 0.19, 0.19, m.Seed), nil
+	case "er":
+		rows, cols := m.Rows, m.Cols
+		if rows <= 0 {
+			rows = 1024
+		}
+		if cols <= 0 {
+			cols = rows
+		}
+		if rows > maxGenDim || cols > maxGenDim {
+			return nil, fmt.Errorf("apiv1: er dimensions %dx%d too large (max %d)", rows, cols, maxGenDim)
+		}
+		p := m.Density
+		if p <= 0 {
+			p = 0.01
+		}
+		return spgemm.ER(rows, cols, p, m.Seed), nil
+	case "band":
+		n, half := m.N, m.Half
+		if n <= 0 {
+			n = 1024
+		}
+		if n > maxGenDim {
+			return nil, fmt.Errorf("apiv1: band n %d too large (max %d)", n, maxGenDim)
+		}
+		if half <= 0 {
+			half = 8
+		}
+		return spgemm.Band(n, half, m.Seed), nil
+	case "blocks":
+		n, bs := m.N, m.Block
+		if n <= 0 {
+			n = 1024
+		}
+		if n > maxGenDim {
+			return nil, fmt.Errorf("apiv1: blocks n %d too large (max %d)", n, maxGenDim)
+		}
+		if bs <= 0 {
+			bs = 16
+		}
+		if bs > n {
+			bs = n
+		}
+		return spgemm.BlockDiag(n/bs, bs, m.Seed), nil
+	default:
+		return nil, fmt.Errorf("apiv1: unknown matrix kind %q (want rmat, er, band or blocks)", m.Kind)
+	}
+}
+
+// MultiplyRequest is the POST /v1/multiply body. Operands come either
+// as specs or as handles into the matrix store (a handle wins over
+// its spec); B defaults to the same matrix as A (the common A·A graph
+// workload). StoreC additionally persists the product into the matrix
+// store and returns its handle, so a client can chain multiplies
+// across sequential requests.
+type MultiplyRequest struct {
+	Engine      string      `json:"engine"`
+	A           MatrixSpec  `json:"a"`
+	B           *MatrixSpec `json:"b,omitempty"`
+	AHandle     string      `json:"a_handle,omitempty"`
+	BHandle     string      `json:"b_handle,omitempty"`
+	StoreC      bool        `json:"store_c,omitempty"`
+	DeadlineSec float64     `json:"deadline_sec,omitempty"`
+	Threads     int         `json:"threads,omitempty"`
+	NumGPUs     int         `json:"num_gpus,omitempty"`
+}
+
+// MatrixRequest is the POST /v1/matrices body: either a spec to build
+// and store, or a stored handle plus a values seed to re-value (same
+// pattern, fresh deterministic values — the iterative-workload upload
+// that keeps cached plans warm).
+type MatrixRequest struct {
+	Spec       *MatrixSpec `json:"spec,omitempty"`
+	Handle     string      `json:"handle,omitempty"`
+	ValuesSeed int64       `json:"values_seed,omitempty"`
+}
+
+// MatrixResponse describes a stored matrix. StructureFP is the
+// sparsity-pattern fingerprint: two handles sharing it share cached
+// plans.
+type MatrixResponse struct {
+	Handle      string `json:"handle"`
+	Rows        int    `json:"rows"`
+	Cols        int    `json:"cols"`
+	Nnz         int64  `json:"nnz"`
+	Bytes       int64  `json:"bytes"`
+	StructureFP string `json:"structure_fingerprint"`
+}
+
+// MultiplyResponse reports a completed job. CHandle is set only when
+// the request asked for StoreC.
+type MultiplyResponse struct {
+	Requested string  `json:"requested"`
+	Engine    string  `json:"engine"`
+	Degraded  bool    `json:"degraded"`
+	Rows      int     `json:"rows"`
+	Cols      int     `json:"cols"`
+	NnzC      int64   `json:"nnz_c"`
+	Flops     int64   `json:"flops"`
+	Seconds   float64 `json:"seconds"`
+	GFLOPS    float64 `json:"gflops"`
+	CHandle   string  `json:"c_handle,omitempty"`
+}
+
+// ErrorResponse is the uniform error envelope of every /v1 endpoint
+// (and of per-node failures inside a batch response): a
+// machine-readable code from the Code* taxonomy, the human-readable
+// message, and — when the job was shed — the retry-after hint also
+// carried by the Retry-After header.
+type ErrorResponse struct {
+	Code          string  `json:"code"`
+	Error         string  `json:"error"`
+	RetryAfterSec float64 `json:"retry_after_sec,omitempty"`
+}
+
+// Machine-readable error codes of the envelope, mapped from the
+// serving layer's faults taxonomy. Clients dispatch on these, never on
+// message text.
+const (
+	// CodeBadRequest is a malformed or unsatisfiable request body
+	// (HTTP 400).
+	CodeBadRequest = "bad_request"
+	// CodeMethodNotAllowed is a wrong HTTP method on a known route
+	// (HTTP 405; the Allow header lists the accepted method).
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeUnknownHandle is a matrix handle the store does not hold —
+	// never uploaded, deleted, or evicted (HTTP 404; re-upload).
+	CodeUnknownHandle = "unknown_handle"
+	// CodeOverloaded is the admission controller's flop-budget shed
+	// (HTTP 429 with Retry-After).
+	CodeOverloaded = "overloaded"
+	// CodeQueueFull is the bounded admission queue shed (HTTP 429 with
+	// Retry-After).
+	CodeQueueFull = "queue_full"
+	// CodeDraining rejects jobs submitted after graceful drain began
+	// (HTTP 503; try another replica).
+	CodeDraining = "draining"
+	// CodeJobPanic is an engine panic isolated to the job (HTTP 500).
+	CodeJobPanic = "job_panic"
+	// CodeDeadline is a run that exceeded its deadline, or a job
+	// abandoned at the drain deadline (HTTP 504).
+	CodeDeadline = "deadline"
+	// CodeOOM is an up-front rejection of a job that cannot fit the
+	// device at any chunk grid, or a store-budget overflow (HTTP 413).
+	CodeOOM = "oom"
+	// CodeDeviceLost is a permanent simulated-device failure that the
+	// engine could not recover from (HTTP 500).
+	CodeDeviceLost = "device_lost"
+	// CodeInvalidDAG is a /v1/batch request whose node graph cannot be
+	// scheduled: empty, too large, duplicate or missing ids, unknown
+	// node references, or a dependency cycle (HTTP 400).
+	CodeInvalidDAG = "invalid_dag"
+	// CodeShapeMismatch is a /v1/batch request with incompatible
+	// operand dimensions somewhere in the DAG, rejected before
+	// admission (HTTP 400).
+	CodeShapeMismatch = "shape_mismatch"
+	// CodeUpstreamFailed marks a batch node skipped because a node it
+	// depends on failed (node status "skipped", never a top-level
+	// HTTP error).
+	CodeUpstreamFailed = "upstream_failed"
+)

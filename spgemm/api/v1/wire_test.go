@@ -1,0 +1,139 @@
+package apiv1
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWireFieldStability pins the v1 wire contract: the JSON names of
+// every request/response type. A failure here means a wire-breaking
+// change — additions are fine (add them to the want set), renames and
+// removals need a new version package.
+func TestWireFieldStability(t *testing.T) {
+	cases := []struct {
+		name string
+		typ  any
+		want []string
+	}{
+		{"MatrixSpec", MatrixSpec{}, []string{
+			"kind", "scale", "edge_factor", "rows", "cols", "density", "n", "half", "block", "seed",
+		}},
+		{"MultiplyRequest", MultiplyRequest{}, []string{
+			"engine", "a", "b", "a_handle", "b_handle", "store_c", "deadline_sec", "threads", "num_gpus",
+		}},
+		{"MultiplyResponse", MultiplyResponse{}, []string{
+			"requested", "engine", "degraded", "rows", "cols", "nnz_c", "flops", "seconds", "gflops", "c_handle",
+		}},
+		{"MatrixRequest", MatrixRequest{}, []string{"spec", "handle", "values_seed"}},
+		{"MatrixResponse", MatrixResponse{}, []string{
+			"handle", "rows", "cols", "nnz", "bytes", "structure_fingerprint",
+		}},
+		{"ErrorResponse", ErrorResponse{}, []string{"code", "error", "retry_after_sec"}},
+		{"Operand", Operand{}, []string{"handle", "node", "spec"}},
+		{"BatchNode", BatchNode{}, []string{"id", "engine", "a", "b", "store"}},
+		{"BatchRequest", BatchRequest{}, []string{"engine", "deadline_sec", "threads", "num_gpus", "nodes"}},
+		{"NodeResult", NodeResult{}, []string{
+			"id", "status", "engine", "degraded", "rows", "cols", "nnz_c", "flops",
+			"seconds", "plan_cache_hit", "handle", "error",
+		}},
+		{"BatchResponse", BatchResponse{}, []string{
+			"nodes", "completed", "failed", "skipped", "seconds", "estimated_flops",
+			"plan_cache_hits", "plan_cache_misses", "plan_cache_hit_rate",
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := reflect.TypeOf(tc.typ)
+			got := make([]string, 0, rt.NumField())
+			for i := 0; i < rt.NumField(); i++ {
+				tag := rt.Field(i).Tag.Get("json")
+				name := strings.Split(tag, ",")[0]
+				if name == "" || name == "-" {
+					t.Fatalf("field %s has no json name", rt.Field(i).Name)
+				}
+				got = append(got, name)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("wire fields changed:\n got %v\nwant %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestErrorCodeStability pins the taxonomy constants — clients dispatch
+// on these strings.
+func TestErrorCodeStability(t *testing.T) {
+	want := map[string]string{
+		CodeBadRequest:       "bad_request",
+		CodeMethodNotAllowed: "method_not_allowed",
+		CodeUnknownHandle:    "unknown_handle",
+		CodeOverloaded:       "overloaded",
+		CodeQueueFull:        "queue_full",
+		CodeDraining:         "draining",
+		CodeJobPanic:         "job_panic",
+		CodeDeadline:         "deadline",
+		CodeOOM:              "oom",
+		CodeDeviceLost:       "device_lost",
+		CodeInvalidDAG:       "invalid_dag",
+		CodeShapeMismatch:    "shape_mismatch",
+		CodeUpstreamFailed:   "upstream_failed",
+	}
+	for got, expect := range want {
+		if got != expect {
+			t.Errorf("code %q changed (want %q)", got, expect)
+		}
+	}
+	if StatusOK != "ok" || StatusFailed != "failed" || StatusSkipped != "skipped" {
+		t.Error("node status strings changed")
+	}
+}
+
+// TestOmitEmptyKeepsRequestsSmall asserts the minimal chain node
+// marshals without optional noise — the compactness of batch requests
+// is part of the API's appeal for iterative clients.
+func TestOmitEmptyKeepsRequestsSmall(t *testing.T) {
+	data, err := json.Marshal(BatchNode{ID: "s1", A: Operand{Handle: "h"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(data), `{"id":"s1","a":{"handle":"h"}}`; got != want {
+		t.Fatalf("minimal node = %s, want %s", got, want)
+	}
+}
+
+// TestMatrixSpecBuild covers the generator dispatch: every kind
+// produces a matrix of the documented shape, unknown kinds and
+// oversized dimensions error.
+func TestMatrixSpecBuild(t *testing.T) {
+	m, err := MatrixSpec{Kind: "er", Rows: 32, Cols: 16, Density: 0.1, Seed: 1}.Build()
+	if err != nil || m.Rows != 32 || m.Cols != 16 {
+		t.Fatalf("er = %v %v", m, err)
+	}
+	m, err = MatrixSpec{Kind: "band", N: 64, Half: 2}.Build()
+	if err != nil || m.Rows != 64 {
+		t.Fatalf("band = %v %v", m, err)
+	}
+	m, err = MatrixSpec{Kind: "blocks", N: 64, Block: 8, Seed: 3}.Build()
+	if err != nil || m.Rows != 64 {
+		t.Fatalf("blocks = %v %v", m, err)
+	}
+	// Dense diagonal blocks: nnz = (n/block) * block² exactly.
+	if m.Nnz() != 64*8 {
+		t.Fatalf("blocks nnz = %d, want %d", m.Nnz(), 64*8)
+	}
+	m, err = MatrixSpec{Kind: "rmat", Scale: 6, EdgeFactor: 4, Seed: 2}.Build()
+	if err != nil || m.Rows != 1<<6 {
+		t.Fatalf("rmat = %v %v", m, err)
+	}
+	if _, err = (MatrixSpec{Kind: "warp"}).Build(); err == nil {
+		t.Fatal("unknown kind did not error")
+	}
+	if _, err = (MatrixSpec{Kind: "er", Rows: maxGenDim + 1}).Build(); err == nil {
+		t.Fatal("oversized er did not error")
+	}
+	if _, err = (MatrixSpec{Kind: "rmat", Scale: 23}).Build(); err == nil {
+		t.Fatal("oversized rmat did not error")
+	}
+}

@@ -151,6 +151,32 @@ func (p *PlanCache) Invalidate(fp uint64) int {
 	return n
 }
 
+// HasPlan reports whether the cache already holds a plan for the
+// structure pair (a, b) — a CPU symbolic entry or a device chunk plan
+// under any grid. The serving layer's batch planner probes it so plan
+// groups whose pattern is already warm skip leader serialization.
+func (p *PlanCache) HasPlan(a, b *Matrix) bool {
+	if p == nil {
+		return false
+	}
+	return p.HasPlanKey(csr.Fingerprint(a), csr.Fingerprint(b), a.Rows, a.Cols, b.Cols)
+}
+
+// HasPlanKey is HasPlan for a caller that already fingerprinted the
+// operands (fpA, fpB structural fingerprints; rows×aCols · aCols×cols
+// the multiply's dimensions), so the probe costs two map lookups and
+// no re-hashing.
+func (p *PlanCache) HasPlanKey(fpA, fpB uint64, rows, aCols, cols int) bool {
+	if p == nil {
+		return false
+	}
+	key := cpuPlanKey{fpA: fpA, fpB: fpB, rows: rows, aCols: aCols, cols: cols}
+	p.mu.Lock()
+	_, ok := p.entries[key]
+	p.mu.Unlock()
+	return ok || p.dev.Has(fpA, fpB)
+}
+
 // coreCache exposes the device half for core.Options threading.
 func (p *PlanCache) coreCache() *core.PlanCache {
 	if p == nil {
