@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/spgemm"
@@ -453,6 +455,110 @@ func TestChaosServeEstimationPlanCacheBypass(t *testing.T) {
 	}
 	if n := s.PlanCache().Len(); n == 0 {
 		t.Fatal("fault-free estimation job did not populate the plan cache")
+	}
+}
+
+// buildChaosCluster assembles an n-replica coordinator over in-process
+// serve servers wrapped in seeded chaos backends — the same wiring as
+// spgemm-serve -cluster — with retry backoff sleeps stubbed out so the
+// sweep runs at full speed.
+func buildChaosCluster(n int) (*cluster.Coordinator, []*cluster.ChaosBackend) {
+	backends := make([]cluster.Backend, n)
+	chaos := make([]*cluster.ChaosBackend, n)
+	for i := 0; i < n; i++ {
+		srv := serve.New(serve.Config{MaxConcurrent: 2})
+		cb := cluster.NewChaosBackend(
+			cluster.NewLocalReplica(fmt.Sprintf("r%d", i), srv),
+			cluster.ChaosConfig{Seed: int64(i + 1)},
+		)
+		backends[i], chaos[i] = cb, cb
+	}
+	return cluster.New(cluster.Config{Sleep: func(time.Duration) {}}, backends...), chaos
+}
+
+// runClusterKillScenario streams requests through a 3-replica cluster,
+// kills one replica mid-stream, and checks the coordinator's promise:
+// zero requests lost (every one of them succeeds, through failover or
+// not), the admission ledger reconciles (each request admitted exactly
+// once across the replica set), and the health state machine records
+// exactly one down and one up transition for the kill and the revival.
+// It returns the merged counter snapshot for determinism comparison.
+func runClusterKillScenario(t *testing.T, victim int) map[string]int64 {
+	t.Helper()
+	const requests = 30
+	coord, chaos := buildChaosCluster(3)
+	defer coord.Drain(time.Second)
+
+	a := spgemm.ER(48, 48, 0.08, 401)
+	ref := reference(t, a)
+	h, err := coord.StoreMatrix(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < requests; i++ {
+		if i == requests/3 {
+			// Mid-stream kill, no probe: the request path itself must
+			// discover the dead replica (ErrReplicaDown on first touch),
+			// condemn it, and fail over to the ring successor.
+			chaos[victim].Kill()
+		}
+		var resp *apiv1.MultiplyResponse
+		if i%2 == 0 {
+			// Shared-handle traffic: routed to the handle's owner, which
+			// forces spill re-upload failover when the owner is the victim.
+			resp, err = coord.Multiply(apiv1.MultiplyRequest{Engine: "cpu", AHandle: h})
+			if err == nil && resp.NnzC != ref.Nnz() {
+				t.Fatalf("request %d (kill r%d): nnz_c = %d, want %d", i, victim, resp.NnzC, ref.Nnz())
+			}
+		} else {
+			// Spread traffic: distinct spec keys land on every replica,
+			// so some of the post-kill stream is owned by the victim no
+			// matter which replica was killed.
+			resp, err = coord.Multiply(apiv1.MultiplyRequest{
+				Engine: "cpu",
+				A:      apiv1.MatrixSpec{Kind: "er", Rows: 32, Cols: 32, Density: 0.1, Seed: int64(500 + i)},
+			})
+		}
+		if err != nil {
+			t.Fatalf("request %d lost after killing r%d: %v", i, victim, err)
+		}
+	}
+	chaos[victim].Revive()
+	coord.Probe()
+
+	counters := coord.Counters()
+	// Reconciliation: every request admitted exactly once across the
+	// replica set — failover re-routes only never-admitted requests.
+	if got := counters[metrics.CounterServeAccepted]; got != requests {
+		t.Fatalf("kill r%d: %d requests admitted across replicas, want %d", victim, got, requests)
+	}
+	if counters[metrics.CounterServeFailed] != 0 || counters[metrics.CounterServePanicked] != 0 {
+		t.Fatalf("kill r%d: replica-side failures under a clean kill: %v", victim, counters)
+	}
+	if counters[metrics.CounterClusterFailovers] == 0 {
+		t.Fatalf("kill r%d: no failovers recorded; the kill was never exercised: %v", victim, counters)
+	}
+	if d, u := counters[metrics.CounterClusterReplicaDown], counters[metrics.CounterClusterReplicaUp]; d != 1 || u != 1 {
+		t.Fatalf("kill r%d: down/up transitions = %d/%d, want 1/1", victim, d, u)
+	}
+	return counters
+}
+
+// TestChaosClusterKillAnyReplica kills each replica of three in turn:
+// whichever one dies mid-stream, no admitted request may be lost and
+// the recovery counters must reconcile. Each scenario runs twice and
+// the merged counter snapshots must match exactly — the coordinator's
+// failover path is as seeded-deterministic as the fault injector's.
+func TestChaosClusterKillAnyReplica(t *testing.T) {
+	for victim := 0; victim < 3; victim++ {
+		victim := victim
+		t.Run(fmt.Sprintf("kill_r%d", victim), func(t *testing.T) {
+			first := runClusterKillScenario(t, victim)
+			second := runClusterKillScenario(t, victim)
+			if !reflect.DeepEqual(first, second) {
+				t.Fatalf("cluster kill scenario not deterministic:\n%v\n%v", first, second)
+			}
+		})
 	}
 }
 

@@ -26,6 +26,23 @@
 //	spgemm-serve -drive http://127.0.0.1:8097 -drive-batch
 //
 // The drive run fails (exit 1) when an assertion does not hold.
+//
+// Cluster mode (-cluster N) serves the same wire API through the
+// internal/cluster coordinator over N in-process replicas: requests
+// shard by structural fingerprint on a consistent-hash ring, replica
+// health is probed in the background, and failures re-route to ring
+// successors:
+//
+//	spgemm-serve -addr :8097 -cluster 3 -max-concurrent 2
+//
+// The cluster soak (-cluster-soak) is the self-contained chaos
+// acceptance run CI executes: a seeded kill + restart sweep over the
+// in-process replicas where every admitted request must succeed —
+// killing any single replica of three mid-stream loses nothing — and
+// the failover counters must reconcile:
+//
+//	spgemm-serve -cluster-soak -cluster 3 -soak-requests 60 \
+//	    -cluster-seed 7 -snapshot cluster-snapshot.json
 package main
 
 import (
@@ -43,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/spgemm"
@@ -74,6 +92,12 @@ func main() {
 	expectBreaker := flag.Bool("expect-breaker", false, "drive mode: fail unless a breaker tripped and jobs degraded")
 	driveReuse := flag.Bool("drive-reuse", false, "drive mode: upload one matrix and multiply by handle (repeated-pattern traffic); fails unless the plan cache got hits")
 	driveBatch := flag.Bool("drive-batch", false, "drive mode: submit a /v1/batch DAG (chain + fault-injected node) and assert partial-failure statuses")
+
+	clusterN := flag.Int("cluster", 0, "cluster mode: in-process replicas behind the coordinator (0 = single server)")
+	clusterSoak := flag.Bool("cluster-soak", false, "run the seeded in-process cluster kill+restart soak and exit (uses -cluster, -soak-requests, -cluster-seed)")
+	soakRequests := flag.Int("soak-requests", 60, "cluster soak: requests in the sweep")
+	clusterSeed := flag.Int64("cluster-seed", 7, "cluster mode: chaos seed for replica fault injection")
+	clusterFailRate := flag.Float64("cluster-fail-rate", 0, "cluster mode: per-operation probability a replica drops a request")
 	flag.Parse()
 
 	if *driveURL != "" {
@@ -110,7 +134,7 @@ func main() {
 		}
 		base.Faults = fc
 	}
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		MaxConcurrent:    *maxConc,
 		QueueDepth:       *queueDepth,
 		MaxInflightFlops: *maxFlops,
@@ -123,9 +147,49 @@ func main() {
 			TripFailures:    *tripFailures,
 			CooldownJobs:    *cooldownJobs,
 		},
-	})
+	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	if *clusterSoak {
+		n := *clusterN
+		if n <= 0 {
+			n = 3
+		}
+		if err := runClusterSoak(cfg, n, *soakRequests, *clusterSeed, *snapshotPath); err != nil {
+			log.Fatal("spgemm-serve: cluster-soak: ", err)
+		}
+		return
+	}
+
+	var handler http.Handler
+	var drain func(time.Duration) map[string]int64
+	if *clusterN > 1 {
+		coord, _ := buildCluster(cfg, *clusterN, *clusterSeed, *clusterFailRate)
+		stopProbe := make(chan struct{})
+		go func() {
+			tick := time.NewTicker(500 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					coord.Probe()
+				case <-stopProbe:
+					return
+				}
+			}
+		}()
+		handler = coord.Handler()
+		drain = func(t time.Duration) map[string]int64 {
+			close(stopProbe)
+			return coord.Drain(t)
+		}
+		log.Printf("spgemm-serve: cluster mode with %d in-process replicas", *clusterN)
+	} else {
+		srv := serve.New(cfg)
+		handler = srv.Handler()
+		drain = srv.Drain
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatal("spgemm-serve: ", err)
@@ -138,7 +202,7 @@ func main() {
 	got := <-sig
 	log.Printf("spgemm-serve: %v: draining (deadline %v)", got, *drainTimeout)
 
-	snap := srv.Drain(*drainTimeout)
+	snap := drain(*drainTimeout)
 	if err := writeSnapshot(*snapshotPath, snap); err != nil {
 		log.Fatal("spgemm-serve: ", err)
 	}
@@ -148,6 +212,154 @@ func main() {
 	if err := httpSrv.Close(); err != nil {
 		log.Fatal("spgemm-serve: ", err)
 	}
+}
+
+// buildCluster assembles n in-process replicas, each a real serve
+// server behind a seeded chaos wrapper, under one coordinator.
+func buildCluster(cfg serve.Config, n int, seed int64, failRate float64) (*cluster.Coordinator, []*cluster.ChaosBackend) {
+	var backends []cluster.Backend
+	var chaos []*cluster.ChaosBackend
+	for i := 0; i < n; i++ {
+		s := serve.New(cfg)
+		cb := cluster.NewChaosBackend(
+			cluster.NewLocalReplica(fmt.Sprintf("r%d", i), s),
+			cluster.ChaosConfig{Seed: seed + int64(i), FailRate: failRate},
+		)
+		backends = append(backends, cb)
+		chaos = append(chaos, cb)
+	}
+	return cluster.New(cluster.Config{}, backends...), chaos
+}
+
+// runClusterSoak is the chaos acceptance sweep: with a fixed seed,
+// every replica of the cluster is killed and restarted in turn while a
+// request stream runs, and not one admitted request may be lost — the
+// coordinator's failover (spill re-upload + ring successor walk) and
+// the degraded single-survivor funnel must absorb every kill. The
+// merged counter snapshot (cluster_failover_total and friends) is
+// written as the CI artifact.
+func runClusterSoak(cfg serve.Config, n, requests int, seed int64, snapshotPath string) error {
+	coord, chaos := buildCluster(cfg, n, seed, 0)
+	defer coord.Drain(30 * time.Second)
+
+	// One shared operand: the handle traffic exercises placement,
+	// spill re-upload and plan-cache locality across failovers.
+	m := spgemm.RMAT(6, 8, 0.57, 0.19, 0.19, seed)
+	ref, err := spgemm.Multiply(m, m)
+	if err != nil {
+		return err
+	}
+	handle, err := coord.StoreMatrix(m)
+	if err != nil {
+		return fmt.Errorf("seed store: %w", err)
+	}
+
+	phase := requests / n
+	if phase == 0 {
+		phase = 1
+	}
+	kills := 0
+	var killed *cluster.ChaosBackend
+	for r := 0; r < requests; r++ {
+		// Kill schedule: at each phase boundary restart the previously
+		// killed replica and kill the next one, mid-stream. Every
+		// replica takes its turn dying.
+		if r%phase == 0 && r/phase < n {
+			if killed != nil {
+				killed.Revive()
+				coord.Probe()
+			}
+			killed = chaos[r/phase]
+			killed.Kill()
+			kills++
+		}
+		var nnz int64
+		if r%2 == 0 {
+			resp, err := coord.Multiply(apiv1.MultiplyRequest{Engine: "cpu", AHandle: handle})
+			if err != nil {
+				return fmt.Errorf("request %d (handle) lost: %w", r, err)
+			}
+			nnz = resp.NnzC
+		} else {
+			resp, err := coord.Multiply(apiv1.MultiplyRequest{
+				Engine: "cpu",
+				A:      apiv1.MatrixSpec{Kind: "er", Rows: 48, Cols: 48, Density: 0.08, Seed: seed + int64(r)},
+			})
+			if err != nil {
+				return fmt.Errorf("request %d (spec) lost: %w", r, err)
+			}
+			nnz = resp.NnzC
+		}
+		if nnz == 0 {
+			return fmt.Errorf("request %d: empty product", r)
+		}
+		if r%2 == 0 {
+			if got := ref.Nnz(); nnz != got {
+				return fmt.Errorf("request %d: nnz %d, want %d", r, nnz, got)
+			}
+		}
+	}
+	if killed != nil {
+		killed.Revive()
+		coord.Probe()
+	}
+
+	// Degraded-funnel phase: every replica but the last dies and stays
+	// dead, and the whole stream funnels through the single survivor's
+	// own admission and breaker machinery. Still zero lost requests.
+	for i := 0; i < n-1; i++ {
+		chaos[i].Kill()
+	}
+	coord.Probe()
+	coord.Probe() // second failed round condemns suspect -> down
+	funnel := requests / 4
+	if funnel == 0 {
+		funnel = 1
+	}
+	for r := 0; r < funnel; r++ {
+		if _, err := coord.Multiply(apiv1.MultiplyRequest{Engine: "cpu", AHandle: handle}); err != nil {
+			return fmt.Errorf("degraded request %d lost: %w", r, err)
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		chaos[i].Revive()
+	}
+	coord.Probe()
+
+	snap := coord.Counters()
+	if err := writeSnapshot(snapshotPath, snap); err != nil {
+		return err
+	}
+	fmt.Printf("cluster-soak: %d+%d requests, %d kills, failovers=%d rebalances=%d degraded=%d down=%d up=%d\n",
+		requests, funnel, kills,
+		snap[metrics.CounterClusterFailovers], snap[metrics.CounterClusterRebalances],
+		snap[metrics.CounterClusterDegraded],
+		snap[metrics.CounterClusterReplicaDown], snap[metrics.CounterClusterReplicaUp])
+
+	// Reconciliation: every request admitted exactly once across the
+	// replica set (failover re-routes only never-admitted requests),
+	// failovers actually happened, every kill was both condemned and
+	// recovered, and the funnel phase really ran degraded.
+	if got := snap[metrics.CounterServeAccepted]; got != int64(requests+funnel) {
+		return fmt.Errorf("admitted jobs %d != %d requests: a request ran twice or vanished", got, requests+funnel)
+	}
+	if snap[metrics.CounterClusterFailovers] == 0 {
+		return fmt.Errorf("kill sweep produced no failovers")
+	}
+	totalKills := int64(kills + n - 1)
+	if down := snap[metrics.CounterClusterReplicaDown]; down != totalKills {
+		return fmt.Errorf("down transitions %d != %d kills", down, totalKills)
+	}
+	if up := snap[metrics.CounterClusterReplicaUp]; up != totalKills {
+		return fmt.Errorf("up transitions %d != %d revives", up, totalKills)
+	}
+	if got := snap[metrics.CounterClusterDegraded]; got != int64(funnel) {
+		return fmt.Errorf("degraded-mode requests %d != %d funnel requests", got, funnel)
+	}
+	if snap[metrics.CounterServeFailed]+snap[metrics.CounterServePanicked] != 0 {
+		return fmt.Errorf("replica-side failures during soak: %v", snap)
+	}
+	return nil
 }
 
 func writeSnapshot(path string, snap map[string]int64) error {

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/serve"
+	apiv1 "repro/spgemm/api/v1"
+)
+
+// Handler returns the coordinator's HTTP surface — route-for-route the
+// single server's API, so a client (or the apiv1.Client) pointed at a
+// cluster cannot tell the difference:
+//
+//	GET    /healthz              — coordinator liveness
+//	GET    /readyz               — aggregated readiness + per-replica states
+//	GET    /metricsz             — cluster_* counters + summed replica counters
+//	POST   /v1/multiply          — routed by structural fingerprint
+//	POST   /v1/batch             — whole DAG routed to one replica
+//	POST   /v1/matrices          — placed on the ring owner, spilled for failover
+//	DELETE /v1/matrices/{handle} — dropped everywhere it lives
+//
+// Errors ride the shared apiv1 envelope via serve.WriteError, with the
+// cluster-specific replica_down code (503 + Retry-After) when no
+// replica could take a request.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", guard(http.MethodGet, c.handleHealthz))
+	mux.HandleFunc("/readyz", guard(http.MethodGet, c.handleReadyz))
+	mux.HandleFunc("/metricsz", guard(http.MethodGet, c.handleMetricsz))
+	mux.HandleFunc("/v1/multiply", guard(http.MethodPost, c.handleMultiply))
+	mux.HandleFunc("/v1/batch", guard(http.MethodPost, c.handleBatch))
+	mux.HandleFunc("/v1/matrices", guard(http.MethodPost, c.handleMatrices))
+	mux.HandleFunc("/v1/matrices/", guard(http.MethodDelete, c.handleMatrixByHandle))
+	return mux
+}
+
+func guard(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeJSON(w, http.StatusMethodNotAllowed, apiv1.ErrorResponse{
+				Code:  apiv1.CodeMethodNotAllowed,
+				Error: fmt.Sprintf("method %s not allowed (use %s)", r.Method, method),
+			})
+			return
+		}
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz serves the aggregated readiness: the same wire statuses
+// a single server emits, plus the per-replica health map. 503 only
+// when draining — a degraded cluster still serves.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	body := c.Ready()
+	status := http.StatusOK
+	if body.Status == apiv1.ReadyStatusDraining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}
+
+func (c *Coordinator) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	counters := c.Counters()
+	body := make(map[string]any, len(counters)+1)
+	for k, v := range counters {
+		body[k] = v
+	}
+	body["cluster_replicas"] = c.Health()
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (c *Coordinator) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.MultiplyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiv1.ErrorResponse{Code: apiv1.CodeBadRequest, Error: "bad request body: " + err.Error()})
+		return
+	}
+	resp, err := c.Multiply(req)
+	if err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiv1.ErrorResponse{Code: apiv1.CodeBadRequest, Error: "bad request body: " + err.Error()})
+		return
+	}
+	resp, err := c.Batch(&req)
+	if err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleMatrices(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.MatrixRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiv1.ErrorResponse{Code: apiv1.CodeBadRequest, Error: "bad request body: " + err.Error()})
+		return
+	}
+	resp, err := c.StoreFromRequest(req)
+	if err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleMatrixByHandle(w http.ResponseWriter, r *http.Request) {
+	handle := strings.TrimPrefix(r.URL.Path, "/v1/matrices/")
+	if !c.DeleteMatrix(handle) {
+		serve.WriteError(w, &serve.UnknownHandleError{Handle: handle})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": handle})
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	apiv1 "repro/spgemm/api/v1"
+)
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	buf, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]any{}
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	return resp, out
+}
+
+// TestClusterHTTPSurface drives the coordinator end to end over HTTP:
+// upload, routed multiply, batch, aggregated readiness and metrics —
+// the same wire surface a single server exposes.
+func TestClusterHTTPSurface(t *testing.T) {
+	tc := newTestCluster(t, 3, Config{})
+	ts := httptest.NewServer(tc.c.Handler())
+	defer ts.Close()
+
+	// Aggregated readiness: all up.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready apiv1.ReadyResponse
+	_ = json.NewDecoder(resp.Body).Decode(&ready)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ready.Status != "ready" {
+		t.Fatalf("readyz: %d %+v", resp.StatusCode, ready)
+	}
+	if len(ready.Replicas) != 3 || ready.Replicas["r0"] != "up" {
+		t.Fatalf("replicas map: %v", ready.Replicas)
+	}
+
+	// Upload, multiply by handle, batch.
+	hr, body := postJSON(t, ts.URL+"/v1/matrices", apiv1.MatrixRequest{
+		Spec: &apiv1.MatrixSpec{Kind: "er", Rows: 32, Cols: 32, Density: 0.1, Seed: 1},
+	})
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("upload: %d %v", hr.StatusCode, body)
+	}
+	handle, _ := body["handle"].(string)
+	if handle == "" {
+		t.Fatalf("no handle in %v", body)
+	}
+	mr, mbody := postJSON(t, ts.URL+"/v1/multiply", apiv1.MultiplyRequest{Engine: "cpu", AHandle: handle})
+	if mr.StatusCode != http.StatusOK {
+		t.Fatalf("multiply: %d %v", mr.StatusCode, mbody)
+	}
+	br, bbody := postJSON(t, ts.URL+"/v1/batch", apiv1.BatchRequest{Engine: "cpu", Nodes: []apiv1.BatchNode{
+		{ID: "sq", A: apiv1.Operand{Handle: handle}},
+	}})
+	if br.StatusCode != http.StatusOK || bbody["completed"].(float64) != 1 {
+		t.Fatalf("batch: %d %v", br.StatusCode, bbody)
+	}
+
+	// Aggregated metrics: cluster_* plus summed replica counters.
+	gr, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody := map[string]any{}
+	_ = json.NewDecoder(gr.Body).Decode(&metricsBody)
+	gr.Body.Close()
+	if v, _ := metricsBody["cluster_requests_total"].(float64); v != 3 {
+		t.Fatalf("cluster_requests_total = %v, want 3", metricsBody["cluster_requests_total"])
+	}
+	if v, _ := metricsBody["serve_jobs_accepted"].(float64); v < 2 {
+		t.Fatalf("summed serve counters missing: %v", metricsBody["serve_jobs_accepted"])
+	}
+	if _, ok := metricsBody["cluster_replicas"].(map[string]any); !ok {
+		t.Fatalf("cluster_replicas missing: %v", metricsBody["cluster_replicas"])
+	}
+
+	// Unknown handle delete: 404 envelope.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/matrices/m-bogus", nil)
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	if dr.StatusCode != http.StatusNotFound {
+		t.Fatalf("bogus delete: %d", dr.StatusCode)
+	}
+}
+
+// TestClusterHTTPDegradedAndDown pins the degraded aggregation and the
+// replica_down wire answer when the whole replica set is gone.
+func TestClusterHTTPDegradedAndDown(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{})
+	ts := httptest.NewServer(tc.c.Handler())
+	defer ts.Close()
+
+	tc.chaos["r0"].Kill()
+	tc.c.Probe()
+	tc.c.Probe()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready apiv1.ReadyResponse
+	_ = json.NewDecoder(resp.Body).Decode(&ready)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ready.Status != "degraded" || ready.Replicas["r0"] != "down" {
+		t.Fatalf("degraded readyz: %d %+v", resp.StatusCode, ready)
+	}
+
+	// Both replicas gone: 503 with the replica_down code and a
+	// Retry-After hint, so clients treat it like any other shed.
+	tc.chaos["r1"].Kill()
+	tc.c.Probe()
+	tc.c.Probe()
+	mr, mbody := postJSON(t, ts.URL+"/v1/multiply", apiv1.MultiplyRequest{
+		Engine: "cpu",
+		A:      apiv1.MatrixSpec{Kind: "er", Rows: 16, Cols: 16, Density: 0.2, Seed: 1},
+	})
+	if mr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("all-down multiply: %d %v", mr.StatusCode, mbody)
+	}
+	if code, _ := mbody["code"].(string); code != apiv1.CodeReplicaDown {
+		t.Fatalf("all-down code %q, want %q", code, apiv1.CodeReplicaDown)
+	}
+	if mr.Header.Get("Retry-After") == "" {
+		t.Fatal("all-down answer missing Retry-After")
+	}
+}

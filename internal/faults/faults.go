@@ -67,6 +67,12 @@ var (
 	// converts the panic into this typed error so one crashed job
 	// cannot take the server down.
 	ErrJobPanic = errors.New("job panicked")
+	// ErrReplicaDown marks a cluster replica that could not be reached
+	// (killed, partitioned, or failing its health probes). Like the
+	// shedding errors it means the request was never admitted on that
+	// replica; the coordinator fails over to a ring successor, and a
+	// request that exhausts every replica surfaces it to the client.
+	ErrReplicaDown = errors.New("replica down")
 )
 
 // Transient reports whether err is a retryable per-operation fault.

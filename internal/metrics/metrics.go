@@ -311,6 +311,29 @@ const (
 	CounterMatrixStoreHits      = "matrix_store_hits"
 	CounterMatrixStoreMisses    = "matrix_store_misses"
 	CounterMatrixStoreEvictions = "matrix_store_evictions"
+
+	// Cluster counters, published by internal/cluster's coordinator.
+	// Requests/routes count client requests and the replica sends made
+	// for them (a failover or hedge sends more than once); failover
+	// counts re-routes to a ring successor after a replica failure;
+	// retries counts shed-retry attempts against the same replica;
+	// hedges/hedges_won count duplicate tail-latency sends and how many
+	// beat the primary; rebalance_moves counts spill-copy re-uploads
+	// that moved a pattern to a new owner; degraded counts requests
+	// funneled through a lone surviving replica; the replica_* pair
+	// counts health-state-machine transitions into down and back up;
+	// probe_failures counts failed health probes.
+	CounterClusterRequests      = "cluster_requests_total"
+	CounterClusterRoutes        = "cluster_routes_total"
+	CounterClusterFailovers     = "cluster_failover_total"
+	CounterClusterRetries       = "cluster_retries_total"
+	CounterClusterHedges        = "cluster_hedges_total"
+	CounterClusterHedgesWon     = "cluster_hedges_won_total"
+	CounterClusterRebalances    = "cluster_rebalance_moves_total"
+	CounterClusterDegraded      = "cluster_degraded_requests_total"
+	CounterClusterReplicaDown   = "cluster_replica_transitions_down"
+	CounterClusterReplicaUp     = "cluster_replica_transitions_up"
+	CounterClusterProbeFailures = "cluster_probe_failures_total"
 )
 
 // Snapshot flattens the collector into sorted key/value pairs: every

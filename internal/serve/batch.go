@@ -42,10 +42,14 @@ import (
 // skipped with code upstream_failed naming the dependency. An
 // admitted batch never turns into an HTTP error.
 func (s *Server) SubmitBatch(req *apiv1.BatchRequest) (*apiv1.BatchResponse, error) {
-	nodes, total, err := s.planBatch(req)
+	nodes, pinned, total, err := s.planBatch(req)
 	if err != nil {
 		return nil, err
 	}
+	// Handle operands stay pinned in the matrix store for the batch's
+	// lifetime: concurrent uploads cannot evict a pattern (or its cached
+	// plans) out from under an admitted-but-unfinished node.
+	defer s.store.unpinAll(pinned)
 
 	s.mu.Lock()
 	if s.draining {
@@ -127,13 +131,15 @@ type bnode struct {
 // planBatch validates the DAG and computes the admission estimate.
 // Whole-batch rejections return a *BatchError; per-node problems
 // (unknown handle, bad spec) are recorded on the node and surface as
-// node statuses after execution.
-func (s *Server) planBatch(req *apiv1.BatchRequest) ([]*bnode, int64, error) {
+// node statuses after execution. Every handle operand that resolved is
+// pinned in the store; the returned pinned list is the caller's
+// obligation to unpin (planBatch unpins itself on whole-batch errors).
+func (s *Server) planBatch(req *apiv1.BatchRequest) ([]*bnode, []string, int64, error) {
 	if req == nil || len(req.Nodes) == 0 {
-		return nil, 0, &BatchError{Code: apiv1.CodeInvalidDAG, Reason: "batch has no nodes"}
+		return nil, nil, 0, &BatchError{Code: apiv1.CodeInvalidDAG, Reason: "batch has no nodes"}
 	}
 	if len(req.Nodes) > apiv1.MaxBatchNodes {
-		return nil, 0, &BatchError{
+		return nil, nil, 0, &BatchError{
 			Code:   apiv1.CodeInvalidDAG,
 			Reason: fmt.Sprintf("%d nodes exceed the %d-node cap", len(req.Nodes), apiv1.MaxBatchNodes),
 		}
@@ -141,28 +147,33 @@ func (s *Server) planBatch(req *apiv1.BatchRequest) ([]*bnode, int64, error) {
 	index := make(map[string]int, len(req.Nodes))
 	for i, n := range req.Nodes {
 		if n.ID == "" {
-			return nil, 0, &BatchError{Code: apiv1.CodeInvalidDAG, Reason: fmt.Sprintf("node %d has an empty id", i)}
+			return nil, nil, 0, &BatchError{Code: apiv1.CodeInvalidDAG, Reason: fmt.Sprintf("node %d has an empty id", i)}
 		}
 		if _, dup := index[n.ID]; dup {
-			return nil, 0, &BatchError{Code: apiv1.CodeInvalidDAG, Node: n.ID, Reason: "duplicate node id"}
+			return nil, nil, 0, &BatchError{Code: apiv1.CodeInvalidDAG, Node: n.ID, Reason: "duplicate node id"}
 		}
 		index[n.ID] = i
 	}
 
+	var pinned []string
+	fail := func(err error) ([]*bnode, []string, int64, error) {
+		s.store.unpinAll(pinned)
+		return nil, nil, 0, err
+	}
 	nodes := make([]*bnode, len(req.Nodes))
 	for i, n := range req.Nodes {
 		bn := &bnode{node: n, aFrom: -1, bFrom: -1}
 		var err error
-		if bn.a, bn.aFrom, err = s.resolveOperand(n.A, n.ID, "a", index, bn); err != nil {
-			return nil, 0, err
+		if bn.a, bn.aFrom, err = s.resolveOperand(n.A, n.ID, "a", index, bn, &pinned); err != nil {
+			return fail(err)
 		}
 		b := n.B
 		if b == nil {
 			// B defaults to the same operand as A (the A·A convention).
 			b = &n.A
 		}
-		if bn.b, bn.bFrom, err = s.resolveOperand(*b, n.ID, "b", index, bn); err != nil {
-			return nil, 0, err
+		if bn.b, bn.bFrom, err = s.resolveOperand(*b, n.ID, "b", index, bn, &pinned); err != nil {
+			return fail(err)
 		}
 		seen := map[int]bool{}
 		for _, from := range []int{bn.aFrom, bn.bFrom} {
@@ -176,7 +187,7 @@ func (s *Server) planBatch(req *apiv1.BatchRequest) ([]*bnode, int64, error) {
 
 	order, err := topoOrder(nodes)
 	if err != nil {
-		return nil, 0, err
+		return fail(err)
 	}
 
 	// Shape propagation in topological order: every output shape is
@@ -197,10 +208,10 @@ func (s *Server) planBatch(req *apiv1.BatchRequest) ([]*bnode, int64, error) {
 			continue
 		}
 		if aCols != bRows {
-			return nil, 0, &BatchError{
+			return fail(&BatchError{
 				Code: apiv1.CodeShapeMismatch, Node: bn.node.ID,
 				Reason: fmt.Sprintf("a is %dx%d but b is %dx%d", aRows, aCols, bRows, bCols),
-			}
+			})
 		}
 		bn.outRows, bn.outCols, bn.shapeKnown = aRows, bCols, true
 		// The standard row-product estimate: each nonzero of A meets the
@@ -213,7 +224,7 @@ func (s *Server) planBatch(req *apiv1.BatchRequest) ([]*bnode, int64, error) {
 		}
 		total += bn.estFlops
 	}
-	return nodes, total, nil
+	return nodes, pinned, total, nil
 }
 
 // resolveOperand checks the exactly-one-field rule, resolves node
@@ -221,7 +232,7 @@ func (s *Server) planBatch(req *apiv1.BatchRequest) ([]*bnode, int64, error) {
 // Handle misses and spec errors are per-node failures recorded on bn;
 // structural problems (no field, two fields, unknown node id) reject
 // the whole batch.
-func (s *Server) resolveOperand(op apiv1.Operand, nodeID, side string, index map[string]int, bn *bnode) (*spgemm.Matrix, int, error) {
+func (s *Server) resolveOperand(op apiv1.Operand, nodeID, side string, index map[string]int, bn *bnode, pinned *[]string) (*spgemm.Matrix, int, error) {
 	set := 0
 	if op.Handle != "" {
 		set++
@@ -249,11 +260,14 @@ func (s *Server) resolveOperand(op apiv1.Operand, nodeID, side string, index map
 		}
 		return nil, from, nil
 	case op.Handle != "":
-		m, ok := s.store.get(op.Handle)
+		// Resolve-and-pin in one store critical section: from here until
+		// the batch finishes, eviction pressure cannot drop this handle.
+		m, ok := s.store.getPin(op.Handle)
 		if !ok {
 			bn.fail(apiv1.CodeUnknownHandle, (&UnknownHandleError{Handle: op.Handle}).Error())
 			return nil, -1, nil
 		}
+		*pinned = append(*pinned, op.Handle)
 		return m, -1, nil
 	default:
 		m, err := op.Spec.Build()

@@ -11,7 +11,6 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/metrics"
-	"repro/spgemm"
 	apiv1 "repro/spgemm/api/v1"
 )
 
@@ -89,16 +88,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz serves the readiness body. The Status string is the
+// wire contract load balancers and the cluster coordinator dispatch
+// on: "ready" and "degraded" answer 200 (the server still serves, a
+// degraded one through its fallback paths), "draining" answers 503.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	jobs, flops := s.Inflight()
-	body := map[string]any{
-		"draining":       s.Draining(),
-		"inflight_jobs":  jobs,
-		"inflight_flops": flops,
-		"breakers":       s.BreakerStates(),
-	}
+	body := s.Ready()
 	status := http.StatusOK
-	if s.Draining() {
+	if body.Status == apiv1.ReadyStatusDraining {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, body)
@@ -134,33 +131,12 @@ func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, "bad request body: "+err.Error())
 		return
 	}
-	var handle string
-	var err error
-	switch {
-	case req.Handle != "":
-		handle, err = s.RevalueMatrix(req.Handle, req.ValuesSeed)
-		if err != nil {
-			writeJSON(w, http.StatusNotFound, errorResponse{Code: apiv1.CodeUnknownHandle, Error: err.Error()})
-			return
-		}
-	case req.Spec != nil:
-		var m *spgemm.Matrix
-		if m, err = req.Spec.Build(); err == nil {
-			handle, err = s.StoreMatrix(m)
-		}
-		if err != nil {
-			s.writeError(w, err)
-			return
-		}
-	default:
-		writeBadRequest(w, "need spec or handle")
+	resp, err := s.StoreFromRequest(req)
+	if err != nil {
+		s.writeError(w, err)
 		return
 	}
-	m, _ := s.Matrix(handle)
-	writeJSON(w, http.StatusOK, MatrixResponse{
-		Handle: handle, Rows: m.Rows, Cols: m.Cols, Nnz: m.Nnz(), Bytes: m.Bytes(),
-		StructureFP: fmt.Sprintf("%016x", spgemm.Fingerprint(m)),
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMatrixByHandle serves DELETE /v1/matrices/{handle}.
@@ -179,53 +155,10 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, "bad request body: "+err.Error())
 		return
 	}
-	var a, b *spgemm.Matrix
-	var err error
-	if req.AHandle == "" {
-		if a, err = req.A.Build(); err != nil {
-			writeBadRequest(w, err.Error())
-			return
-		}
-	}
-	bHandle := req.BHandle
-	switch {
-	case req.B != nil:
-		if b, err = req.B.Build(); err != nil {
-			writeBadRequest(w, err.Error())
-			return
-		}
-	case bHandle == "":
-		// B defaults to A, in whichever form A came.
-		b, bHandle = a, req.AHandle
-	}
-	opts := &spgemm.RunOptions{
-		DeadlineSec: req.DeadlineSec,
-		Threads:     req.Threads,
-		NumGPUs:     req.NumGPUs,
-	}
-	res, err := s.Submit(Job{
-		Engine: req.Engine, A: a, B: b,
-		AHandle: req.AHandle, BHandle: bHandle,
-		Opts: opts,
-	})
+	resp, err := s.Multiply(req)
 	if err != nil {
 		s.writeError(w, err)
 		return
-	}
-	resp := MultiplyResponse{
-		Requested: res.Requested, Engine: res.Engine, Degraded: res.Degraded,
-		Rows: res.C.Rows, Cols: res.C.Cols, NnzC: res.C.Nnz(),
-		Flops: res.Cost.Flops,
-	}
-	if res.Report != nil {
-		resp.Seconds = res.Report.Seconds()
-		resp.GFLOPS = res.Report.Throughput()
-	}
-	if req.StoreC {
-		if resp.CHandle, err = s.StoreMatrix(res.C); err != nil {
-			s.writeError(w, err)
-			return
-		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -246,12 +179,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// writeError maps the serving error taxonomy onto HTTP statuses and
+// writeError keeps the handler call sites short.
+func (s *Server) writeError(w http.ResponseWriter, err error) { WriteError(w, err) }
+
+// WriteError maps the serving error taxonomy onto HTTP statuses and
 // envelope codes: shedding is 429 with a Retry-After hint (header and
 // body), a panic is a 500 for that job only, a deadline is 504, an
 // up-front OOM rejection is 413, an unresolvable handle 404, a
-// rejected batch DAG 400.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+// rejected batch DAG 400, an unreachable cluster 503 with Retry-After.
+// It is shared by the server's handlers and the cluster coordinator's
+// HTTP surface, so both speak the identical wire taxonomy.
+func WriteError(w http.ResponseWriter, err error) {
 	code := ErrorCode(err)
 	resp := errorResponse{Code: code, Error: err.Error()}
 	var status int
@@ -260,6 +198,16 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case apiv1.CodeDraining:
 		status = http.StatusServiceUnavailable
+	case apiv1.CodeReplicaDown:
+		// No replica could take the request; it never ran anywhere.
+		// Retryable like a shed, but 503: capacity is gone, not busy.
+		status = http.StatusServiceUnavailable
+		retry := time.Second
+		if d, ok := RetryAfter(err); ok {
+			retry = d
+		}
+		resp.RetryAfterSec = retry.Seconds()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int64(math.Ceil(retry.Seconds()))))
 	case apiv1.CodeOverloaded, apiv1.CodeQueueFull:
 		status = http.StatusTooManyRequests
 		retry := time.Second
@@ -297,6 +245,8 @@ func ErrorCode(err error) string {
 	case errors.As(err, &de):
 		// Before the Shedding check: DrainingError wraps ErrOverloaded.
 		return apiv1.CodeDraining
+	case errors.Is(err, faults.ErrReplicaDown):
+		return apiv1.CodeReplicaDown
 	case errors.As(err, &oe):
 		return apiv1.CodeOverloaded
 	case errors.As(err, &qe):

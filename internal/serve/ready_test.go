@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/spgemm"
+	apiv1 "repro/spgemm/api/v1"
+)
+
+// getReadyz fetches /readyz and decodes the wire body.
+func getReadyz(t *testing.T, url string) (int, apiv1.ReadyResponse) {
+	t.Helper()
+	resp, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body apiv1.ReadyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("readyz body: %v", err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestReadyzWireStatuses pins the /readyz wire contract the cluster
+// coordinator and load balancers dispatch on: the literal strings
+// "ready", "degraded" and "draining" in the status field, 200 for the
+// first two (a degraded server still serves, through its fallback
+// paths) and 503 only once draining.
+func TestReadyzWireStatuses(t *testing.T) {
+	a := spgemm.RMAT(7, 8, 0.57, 0.19, 0.19, 107)
+	s := New(Config{
+		MaxConcurrent: 1,
+		Breaker: BreakerConfig{
+			TripFailures:    -1,
+			TripRetries:     -1,
+			TripDevicesLost: 1,
+			CooldownJobs:    4,
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, body := getReadyz(t, ts.URL)
+	if status != http.StatusOK || body.Status != "ready" || body.Draining {
+		t.Fatalf("fresh server: %d %+v, want 200 status=ready", status, body)
+	}
+
+	// One lost device trips the hybrid breaker: the server keeps
+	// serving via its CPU fallback and reports degraded, still 200.
+	if _, err := s.Submit(Job{Engine: "hybrid", A: a, B: a, Opts: hybridLossOpts(1)}); err != nil {
+		t.Fatal(err)
+	}
+	status, body = getReadyz(t, ts.URL)
+	if status != http.StatusOK || body.Status != "degraded" || body.Draining {
+		t.Fatalf("tripped breaker: %d %+v, want 200 status=degraded", status, body)
+	}
+	if body.Breakers["hybrid"] != "open" {
+		t.Fatalf("degraded breakers: %v", body.Breakers)
+	}
+
+	// Draining wins over everything and flips to 503.
+	s.Drain(0)
+	status, body = getReadyz(t, ts.URL)
+	if status != http.StatusServiceUnavailable || body.Status != "draining" || !body.Draining {
+		t.Fatalf("draining server: %d %+v, want 503 status=draining", status, body)
+	}
+}
+
+// TestBatchPinsHandlesAgainstEviction is the regression test for the
+// eviction-vs-inflight-batch race: a handle referenced by an admitted
+// but unfinished batch must survive LRU pressure from concurrent
+// uploads, and must become evictable again once the batch finishes.
+func TestBatchPinsHandlesAgainstEviction(t *testing.T) {
+	registerTestEngines()
+	a := spgemm.ER(64, 64, 0.05, 10)
+	budget := 2*a.Bytes() + a.Bytes()/2 // room for two matrices, not three
+	s := New(Config{MaxConcurrent: 2, MatrixStoreBytes: budget})
+	defer s.Drain(0)
+
+	ha, err := s.StoreMatrix(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := openGate()
+	done := make(chan *apiv1.BatchResponse, 1)
+	go func() {
+		resp, err := s.SubmitBatch(&apiv1.BatchRequest{Nodes: []apiv1.BatchNode{
+			{ID: "pinned", Engine: "block", A: apiv1.Operand{Handle: ha}},
+		}})
+		if err != nil {
+			t.Errorf("batch rejected: %v", err)
+			done <- nil
+			return
+		}
+		done <- resp
+	}()
+	waitInflight(t, s, 1)
+
+	// Two uploads under a two-matrix budget: without pinning the LRU
+	// policy would evict ha (the oldest) for the second one. With the
+	// batch holding a pin, the first filler is sacrificed instead.
+	if _, err := s.StoreMatrix(spgemm.ER(64, 64, 0.05, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StoreMatrix(spgemm.ER(64, 64, 0.05, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Matrix(ha); !ok {
+		t.Fatal("handle referenced by a running batch was evicted")
+	}
+
+	close(gate)
+	resp := <-done
+	if resp == nil {
+		t.FailNow()
+	}
+	if resp.Nodes[0].Status != apiv1.StatusOK {
+		t.Fatalf("pinned node: %+v", resp.Nodes[0])
+	}
+
+	// The batch is done, its pin released: enough fresh uploads now
+	// evict ha like any other LRU entry. (Two, because the survival
+	// check above touched ha to the LRU tail.)
+	if _, err := s.StoreMatrix(spgemm.ER(64, 64, 0.05, 13)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StoreMatrix(spgemm.ER(64, 64, 0.05, 14)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Matrix(ha); ok {
+		t.Fatal("handle stayed unevictable after its batch finished")
+	}
+}
+
+// TestStoreRejectsWhenAllPinned: when every resident byte is pinned by
+// running work, an upload that cannot fit fails instead of shrinking a
+// live working set.
+func TestStoreRejectsWhenAllPinned(t *testing.T) {
+	registerTestEngines()
+	a := spgemm.ER(64, 64, 0.05, 10)
+	s := New(Config{MaxConcurrent: 2, MatrixStoreBytes: a.Bytes() + a.Bytes()/2})
+	defer s.Drain(0)
+
+	ha, err := s.StoreMatrix(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := openGate()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = s.SubmitBatch(&apiv1.BatchRequest{Nodes: []apiv1.BatchNode{
+			{ID: "n", Engine: "block", A: apiv1.Operand{Handle: ha}},
+		}})
+	}()
+	waitInflight(t, s, 1)
+
+	if _, err := s.StoreMatrix(spgemm.ER(64, 64, 0.05, 11)); err == nil {
+		t.Fatal("upload succeeded by evicting a fully pinned store")
+	}
+	if _, ok := s.Matrix(ha); !ok {
+		t.Fatal("pinned handle evicted")
+	}
+	close(gate)
+	<-done
+}

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 
 	"repro/internal/metrics"
@@ -41,6 +40,12 @@ type storeEntry struct {
 	m        *spgemm.Matrix
 	structFP uint64
 	bytes    int64
+	// pins counts admitted-but-unfinished jobs and batch nodes holding
+	// this handle; LRU eviction never drops a pinned entry, so a
+	// running batch cannot lose a handle (or its pattern's cached
+	// plans) to eviction pressure from concurrent uploads. Explicit
+	// DELETE is operator intent and still wins.
+	pins int
 }
 
 // DefaultMatrixStoreBytes bounds the store when Config leaves it zero.
@@ -103,6 +108,42 @@ func (s *matrixStore) get(handle string) (*spgemm.Matrix, bool) {
 	return ent.m, true
 }
 
+// getPin resolves a handle and pins it in one critical section, so a
+// concurrent eviction cannot race between resolution and pinning. The
+// caller must balance with unpin.
+func (s *matrixStore) getPin(handle string) (*spgemm.Matrix, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent := s.entries[handle]
+	if ent == nil {
+		s.misses++
+		s.col.Add(metrics.CounterMatrixStoreMisses, 1)
+		return nil, false
+	}
+	s.hits++
+	s.col.Add(metrics.CounterMatrixStoreHits, 1)
+	s.touchLocked(handle)
+	ent.pins++
+	return ent.m, true
+}
+
+// unpin releases one pin; a handle explicitly deleted while pinned is
+// simply gone (the job holds its resolved matrix regardless).
+func (s *matrixStore) unpin(handle string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ent := s.entries[handle]; ent != nil && ent.pins > 0 {
+		ent.pins--
+	}
+}
+
+// unpinAll releases one pin per listed handle.
+func (s *matrixStore) unpinAll(handles []string) {
+	for _, h := range handles {
+		s.unpin(h)
+	}
+}
+
 // revalue stores a fresh-valued copy of the handle's matrix: the same
 // sparsity pattern, values drawn deterministically from seed. The new
 // handle shares the pattern's structural fingerprint, so plans cached
@@ -115,24 +156,14 @@ func (s *matrixStore) revalue(handle string, seed int64) (string, error) {
 		s.misses++
 		s.col.Add(metrics.CounterMatrixStoreMisses, 1)
 		s.mu.Unlock()
-		return "", fmt.Errorf("serve: unknown matrix handle %q", handle)
+		return "", &UnknownHandleError{Handle: handle}
 	}
 	s.hits++
 	s.col.Add(metrics.CounterMatrixStoreHits, 1)
 	s.touchLocked(handle)
 	src := ent.m
 	s.mu.Unlock()
-
-	rng := rand.New(rand.NewSource(seed))
-	fresh := &spgemm.Matrix{
-		Rows: src.Rows, Cols: src.Cols,
-		RowOffsets: src.RowOffsets, ColIDs: src.ColIDs,
-		Data: make([]float64, len(src.Data)),
-	}
-	for i := range fresh.Data {
-		fresh.Data[i] = rng.NormFloat64()
-	}
-	return s.put(fresh)
+	return s.put(spgemm.Revalue(src, seed))
 }
 
 // delete removes a handle and reports whether it existed. Plan-cache
@@ -153,15 +184,21 @@ func (s *matrixStore) delete(handle string) bool {
 	return true
 }
 
-// evictLocked drops the least-recently-used entry.
+// evictLocked drops the least-recently-used unpinned entry. When every
+// resident entry is pinned by an in-flight job or batch, nothing is
+// evictable and the incoming put fails instead — shrinking a running
+// batch's working set would be worse than rejecting the upload.
 func (s *matrixStore) evictLocked() bool {
-	if len(s.order) == 0 {
-		return false
+	for i := range s.order {
+		if s.entries[s.order[i]].pins > 0 {
+			continue
+		}
+		s.dropLocked(i)
+		s.evictions++
+		s.col.Add(metrics.CounterMatrixStoreEvictions, 1)
+		return true
 	}
-	s.dropLocked(0)
-	s.evictions++
-	s.col.Add(metrics.CounterMatrixStoreEvictions, 1)
-	return true
+	return false
 }
 
 // dropLocked removes order[i] and, when no other stored matrix shares

@@ -3,8 +3,11 @@ package apiv1
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -24,6 +27,42 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("apiv1: server returned %d (%s): %s", e.Status, e.Code, e.Message)
 }
 
+// RetryPolicy is the client's opt-in shed-retry behaviour: capped
+// exponential backoff with deterministic jitter, honoring the server's
+// Retry-After hint on 429 and 503 responses.
+//
+// Only responses that guarantee the job was never admitted are
+// retried — the serving layer's shed statuses (429 overloaded/queue
+// full, 503 draining/replica down) — and only on endpoints where a
+// duplicate attempt is harmless (Multiply, Batch and the read-only
+// GETs). Store mutations (StoreMatrix, DeleteMatrix) are never
+// retried by policy, regardless of status: the client cannot know
+// whether the mutation took effect before the response was lost.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (0 means 4, 1 disables retrying).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: attempt k sleeps
+	// BaseDelay*2^(k-1), capped at MaxDelay (0 means 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 means 2s). A server Retry-After
+	// hint overrides the computed backoff but is still capped here.
+	MaxDelay time.Duration
+	// Jitter scatters each delay uniformly in [delay*(1-Jitter),
+	// delay] so synchronized clients do not re-stampede the server
+	// (0 means 0.2; negative disables jitter).
+	Jitter float64
+	// Seed makes the jitter deterministic for tests (0 seeds from the
+	// global source).
+	Seed int64
+	// Sleep replaces time.Sleep in tests; nil means time.Sleep.
+	Sleep func(time.Duration)
+
+	rngOnce sync.Once
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+}
+
 // Client is the thin Go client of the /v1 API: one method per
 // endpoint, JSON in, JSON out, every non-2xx decoded into *APIError.
 type Client struct {
@@ -32,6 +71,9 @@ type Client struct {
 	// HTTP is the underlying client; nil means a client with a
 	// 120-second timeout (multiplies are long-running requests).
 	HTTP *http.Client
+	// Retry enables shed-retry with backoff; nil means no retries
+	// (every 429/503 surfaces immediately as *APIError).
+	Retry *RetryPolicy
 }
 
 // NewClient returns a client for the server at baseURL.
@@ -46,9 +88,94 @@ func (c *Client) httpClient() *http.Client {
 	return &http.Client{Timeout: 120 * time.Second}
 }
 
+// retriable reports whether an attempt's outcome is a shed the policy
+// may retry: HTTP 429 (overloaded, queue full) or 503 (draining,
+// replica down) — statuses the server only sends before admission, so
+// the job never ran.
+func retriable(err error) bool {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	return ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable
+}
+
+// delay computes the sleep before retry attempt (1-based), preferring
+// the server's Retry-After hint over the exponential schedule, capping
+// at MaxDelay, then applying jitter.
+func (p *RetryPolicy) delay(attempt int, hintSec float64) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	d := base << (attempt - 1)
+	if hintSec > 0 {
+		d = time.Duration(hintSec * float64(time.Second))
+	}
+	if d > maxd {
+		d = maxd
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.2
+	}
+	if jitter > 0 {
+		p.rngOnce.Do(func() {
+			seed := p.Seed
+			if seed == 0 {
+				seed = time.Now().UnixNano()
+			}
+			p.rng = rand.New(rand.NewSource(seed))
+		})
+		p.rngMu.Lock()
+		f := p.rng.Float64()
+		p.rngMu.Unlock()
+		d = d - time.Duration(f*jitter*float64(d))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+func (p *RetryPolicy) sleep(d time.Duration) {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
 // do sends one request and decodes the response into out (skipped when
-// out is nil). Non-2xx responses become *APIError.
-func (c *Client) do(method, path string, in, out any) error {
+// out is nil). Non-2xx responses become *APIError. When a retry policy
+// is configured and the call is idempotent-safe, shed responses are
+// retried with backoff honoring the Retry-After hint.
+func (c *Client) do(method, path string, in, out any, idempotent bool) error {
+	attempts := 1
+	if c.Retry != nil && idempotent {
+		attempts = c.Retry.MaxAttempts
+		if attempts <= 0 {
+			attempts = 4
+		}
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = c.doOnce(method, path, in, out)
+		if err == nil || attempt >= attempts || !retriable(err) {
+			return err
+		}
+		var ae *APIError
+		errors.As(err, &ae)
+		c.Retry.sleep(c.Retry.delay(attempt, ae.RetryAfterSec))
+	}
+}
+
+// doOnce is one request/response exchange.
+func (c *Client) doOnce(method, path string, in, out any) error {
 	var body *bytes.Reader
 	if in != nil {
 		data, err := json.Marshal(in)
@@ -85,10 +212,12 @@ func (c *Client) do(method, path string, in, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Multiply submits one job to POST /v1/multiply.
+// Multiply submits one job to POST /v1/multiply. Shed responses are
+// retried under the client's retry policy: a 429/503 means the job was
+// never admitted, so a duplicate attempt cannot double-run it.
 func (c *Client) Multiply(req MultiplyRequest) (*MultiplyResponse, error) {
 	var out MultiplyResponse
-	if err := c.do(http.MethodPost, "/v1/multiply", req, &out); err != nil {
+	if err := c.do(http.MethodPost, "/v1/multiply", req, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -96,38 +225,63 @@ func (c *Client) Multiply(req MultiplyRequest) (*MultiplyResponse, error) {
 
 // Batch submits a DAG of multiplies to POST /v1/batch. A non-nil
 // response means the batch was admitted; per-node failures live in the
-// node statuses.
+// node statuses. Shed responses (the whole DAG rejected before
+// admission) are retried under the client's retry policy.
 func (c *Client) Batch(req BatchRequest) (*BatchResponse, error) {
 	var out BatchResponse
-	if err := c.do(http.MethodPost, "/v1/batch", req, &out); err != nil {
+	if err := c.do(http.MethodPost, "/v1/batch", req, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // StoreMatrix uploads a spec (or re-values a handle) via POST
-// /v1/matrices and returns the stored matrix description.
+// /v1/matrices and returns the stored matrix description. Never
+// retried: a store mutation whose response was lost may still have
+// taken effect.
 func (c *Client) StoreMatrix(req MatrixRequest) (*MatrixResponse, error) {
 	var out MatrixResponse
-	if err := c.do(http.MethodPost, "/v1/matrices", req, &out); err != nil {
+	if err := c.do(http.MethodPost, "/v1/matrices", req, &out, false); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // DeleteMatrix drops a stored handle via DELETE /v1/matrices/{handle}.
+// Never retried (store mutation).
 func (c *Client) DeleteMatrix(handle string) error {
-	return c.do(http.MethodDelete, "/v1/matrices/"+handle, nil, nil)
+	return c.do(http.MethodDelete, "/v1/matrices/"+handle, nil, nil, false)
 }
 
 // Metrics fetches the flat /metricsz snapshot. Integer counters and
 // float hit rates share the map; truncate where ints are asserted.
 func (c *Client) Metrics() (map[string]float64, error) {
 	out := map[string]float64{}
-	if err := c.do(http.MethodGet, "/metricsz", nil, &out); err != nil {
+	if err := c.do(http.MethodGet, "/metricsz", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// Ready fetches the GET /readyz body. A draining server answers 503
+// with the same body, so the response is returned alongside the
+// *APIError in that case — callers who only care about the status
+// string can ignore err when out.Status is set.
+func (c *Client) Ready() (*ReadyResponse, error) {
+	var out ReadyResponse
+	// Bypass retry: readiness polls want the immediate answer.
+	err := c.doOnce(http.MethodGet, "/readyz", nil, &out)
+	if err != nil {
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable {
+			// The 503 body is the ReadyResponse itself, which doOnce
+			// discarded while decoding the envelope; re-fetch the fields
+			// we can: a draining server is status "draining" by contract.
+			return &ReadyResponse{Status: ReadyStatusDraining, Draining: true}, nil
+		}
+		return nil, err
+	}
+	return &out, nil
 }
 
 // WaitHealthy polls GET /healthz until the server answers 200 or the
@@ -135,7 +289,7 @@ func (c *Client) Metrics() (map[string]float64, error) {
 func (c *Client) WaitHealthy(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		err := c.do(http.MethodGet, "/healthz", nil, nil)
+		err := c.do(http.MethodGet, "/healthz", nil, nil, false)
 		if err == nil {
 			return nil
 		}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -47,6 +49,160 @@ func TestClientDecodesEnvelope(t *testing.T) {
 	err = cli.DeleteMatrix("ghost")
 	if !errors.As(err, &ae) || ae.Status != http.StatusNotFound || ae.Code != CodeUnknownHandle {
 		t.Fatalf("delete err = %v", err)
+	}
+}
+
+// flakyServer sheds the first n requests per path with the given
+// status (and a Retry-After hint when hinted), then serves.
+func flakyServer(shed int, status int, hintSec float64) (*httptest.Server, *int32) {
+	var calls int32
+	mu := sync.Mutex{}
+	perPath := map[string]int{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		mu.Lock()
+		perPath[r.URL.Path]++
+		n := perPath[r.URL.Path]
+		mu.Unlock()
+		if n <= shed {
+			if hintSec > 0 {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.WriteHeader(status)
+			_ = json.NewEncoder(w).Encode(ErrorResponse{
+				Code: CodeOverloaded, Error: "shed", RetryAfterSec: hintSec,
+			})
+			return
+		}
+		switch r.URL.Path {
+		case "/v1/multiply":
+			_ = json.NewEncoder(w).Encode(MultiplyResponse{Engine: "cpu", NnzC: 7})
+		default:
+			_, _ = w.Write([]byte("{}"))
+		}
+	}))
+	return ts, &calls
+}
+
+// TestClientRetriesShedMultiply: a multiply shed twice with 429 then
+// served succeeds under the retry policy, the recorded sleeps follow
+// the Retry-After hint, and the jitter is deterministic per seed.
+func TestClientRetriesShedMultiply(t *testing.T) {
+	ts, calls := flakyServer(2, http.StatusTooManyRequests, 0.5)
+	defer ts.Close()
+	var slept []time.Duration
+	cli := NewClient(ts.URL)
+	cli.Retry = &RetryPolicy{
+		MaxAttempts: 4, Seed: 7,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	}
+	resp, err := cli.Multiply(MultiplyRequest{Engine: "cpu"})
+	if err != nil {
+		t.Fatalf("multiply with retry: %v", err)
+	}
+	if resp.NnzC != 7 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if *calls != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 shed + 1 ok)", *calls)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	// The 0.5s hint overrides the 50ms exponential base; jitter keeps
+	// the delay in [0.4s, 0.5s] (jitter fraction 0.2).
+	for i, d := range slept {
+		if d < 400*time.Millisecond || d > 500*time.Millisecond {
+			t.Fatalf("sleep %d = %v outside the hinted [400ms, 500ms]", i, d)
+		}
+	}
+
+	// Determinism: the same seed replays the same jittered delays.
+	ts2, _ := flakyServer(2, http.StatusTooManyRequests, 0.5)
+	defer ts2.Close()
+	var slept2 []time.Duration
+	cli2 := NewClient(ts2.URL)
+	cli2.Retry = &RetryPolicy{
+		MaxAttempts: 4, Seed: 7,
+		Sleep: func(d time.Duration) { slept2 = append(slept2, d) },
+	}
+	if _, err := cli2.Multiply(MultiplyRequest{Engine: "cpu"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range slept {
+		if slept[i] != slept2[i] {
+			t.Fatalf("seeded jitter not deterministic: %v vs %v", slept, slept2)
+		}
+	}
+}
+
+// TestClientRetryExhaustionAndBackoffCap: a server that never stops
+// shedding exhausts MaxAttempts and surfaces the last *APIError; the
+// un-hinted exponential schedule stays under MaxDelay.
+func TestClientRetryExhaustionAndBackoffCap(t *testing.T) {
+	ts, calls := flakyServer(1000, http.StatusServiceUnavailable, 0)
+	defer ts.Close()
+	var slept []time.Duration
+	cli := NewClient(ts.URL)
+	cli.Retry = &RetryPolicy{
+		MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 25 * time.Millisecond,
+		Jitter: -1, Seed: 1,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	}
+	_, err := cli.Batch(BatchRequest{Nodes: []BatchNode{{ID: "s1", A: Operand{Handle: "h"}}}})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 *APIError after exhaustion", err)
+	}
+	if *calls != 5 {
+		t.Fatalf("server saw %d calls, want 5", *calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 25 * time.Millisecond, 25 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("backoff schedule %v, want %v (no-jitter)", slept, want)
+		}
+	}
+}
+
+// TestClientNeverRetriesStoreMutations: shed responses on the store
+// endpoints surface immediately even with a retry policy configured —
+// a mutation whose response was lost may have taken effect.
+func TestClientNeverRetriesStoreMutations(t *testing.T) {
+	ts, calls := flakyServer(1000, http.StatusTooManyRequests, 0)
+	defer ts.Close()
+	cli := NewClient(ts.URL)
+	cli.Retry = &RetryPolicy{MaxAttempts: 4, Sleep: func(time.Duration) {
+		t.Fatal("retry slept on a store mutation")
+	}}
+	if _, err := cli.StoreMatrix(MatrixRequest{Spec: &MatrixSpec{Kind: "er"}}); err == nil {
+		t.Fatal("store succeeded against an always-shedding server")
+	}
+	if err := cli.DeleteMatrix("m-xyz"); err == nil {
+		t.Fatal("delete succeeded against an always-shedding server")
+	}
+	if *calls != 2 {
+		t.Fatalf("server saw %d calls, want 2 (one per mutation, no retries)", *calls)
+	}
+}
+
+// TestClientNoRetryOnNonShedStatuses: a 500 (the job ran and failed)
+// must never be retried, even under a policy.
+func TestClientNoRetryOnNonShedStatuses(t *testing.T) {
+	ts, calls := flakyServer(1000, http.StatusInternalServerError, 0)
+	defer ts.Close()
+	cli := NewClient(ts.URL)
+	cli.Retry = &RetryPolicy{MaxAttempts: 4, Sleep: func(time.Duration) {
+		t.Fatal("retry slept on a non-shed status")
+	}}
+	if _, err := cli.Multiply(MultiplyRequest{Engine: "cpu"}); err == nil {
+		t.Fatal("multiply succeeded against an erroring server")
+	}
+	if *calls != 1 {
+		t.Fatalf("server saw %d calls, want 1", *calls)
 	}
 }
 

@@ -165,6 +165,43 @@ type MultiplyResponse struct {
 	CHandle   string  `json:"c_handle,omitempty"`
 }
 
+// ReadyResponse is the GET /readyz body: a coarse machine-readable
+// Status (one of the ReadyStatus* strings) plus the detail behind it.
+// A single server reports its own drain flag, inflight load and
+// breaker states; a cluster coordinator additionally reports every
+// replica's health-state-machine position in Replicas and omits the
+// single-server fields that do not apply.
+type ReadyResponse struct {
+	// Status is "ready" (serving normally), "degraded" (serving, but
+	// through a fallback path: an open breaker, or a cluster with
+	// replicas down), or "draining" (shutting down, not admitting).
+	Status        string            `json:"status"`
+	Draining      bool              `json:"draining"`
+	InflightJobs  int               `json:"inflight_jobs"`
+	InflightFlops int64             `json:"inflight_flops"`
+	// Breakers maps engine name to circuit state
+	// (closed/open/half-open) on a single server.
+	Breakers map[string]string `json:"breakers,omitempty"`
+	// Replicas maps replica name to health state
+	// (up/suspect/down/draining) on a cluster coordinator.
+	Replicas map[string]string `json:"replicas,omitempty"`
+}
+
+// Readiness statuses of the /readyz body. Like the error codes these
+// are wire contract: clients and load balancers dispatch on them.
+const (
+	// ReadyStatusReady is a server (or cluster) serving normally.
+	ReadyStatusReady = "ready"
+	// ReadyStatusDegraded is a server still serving but through a
+	// fallback path: a tripped breaker routing device traffic to the
+	// CPU engine, or a cluster with at least one replica not up
+	// (including the single-survivor funnel mode).
+	ReadyStatusDegraded = "degraded"
+	// ReadyStatusDraining is a server that stopped admitting (HTTP 503
+	// on /readyz; in-flight work is finishing).
+	ReadyStatusDraining = "draining"
+)
+
 // ErrorResponse is the uniform error envelope of every /v1 endpoint
 // (and of per-node failures inside a batch response): a
 // machine-readable code from the Code* taxonomy, the human-readable
@@ -221,4 +258,9 @@ const (
 	// depends on failed (node status "skipped", never a top-level
 	// HTTP error).
 	CodeUpstreamFailed = "upstream_failed"
+	// CodeReplicaDown is a cluster request that no replica could
+	// serve: the owning replica and every successor on the ring are
+	// down or draining (HTTP 503 with Retry-After; the request was
+	// never admitted anywhere and is safe to retry).
+	CodeReplicaDown = "replica_down"
 )

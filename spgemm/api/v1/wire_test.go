@@ -42,6 +42,9 @@ func TestWireFieldStability(t *testing.T) {
 			"nodes", "completed", "failed", "skipped", "seconds", "estimated_flops",
 			"plan_cache_hits", "plan_cache_misses", "plan_cache_hit_rate",
 		}},
+		{"ReadyResponse", ReadyResponse{}, []string{
+			"status", "draining", "inflight_jobs", "inflight_flops", "breakers", "replicas",
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -79,6 +82,7 @@ func TestErrorCodeStability(t *testing.T) {
 		CodeInvalidDAG:       "invalid_dag",
 		CodeShapeMismatch:    "shape_mismatch",
 		CodeUpstreamFailed:   "upstream_failed",
+		CodeReplicaDown:      "replica_down",
 	}
 	for got, expect := range want {
 		if got != expect {
@@ -87,6 +91,9 @@ func TestErrorCodeStability(t *testing.T) {
 	}
 	if StatusOK != "ok" || StatusFailed != "failed" || StatusSkipped != "skipped" {
 		t.Error("node status strings changed")
+	}
+	if ReadyStatusReady != "ready" || ReadyStatusDegraded != "degraded" || ReadyStatusDraining != "draining" {
+		t.Error("readiness status strings changed")
 	}
 }
 

@@ -1,6 +1,10 @@
 package spgemm
 
-import "repro/internal/matgen"
+import (
+	"math/rand"
+
+	"repro/internal/matgen"
+)
 
 // RMAT generates a scale-free directed graph adjacency matrix with
 // 2^scale vertices and about edgeFactor edges per vertex (recursive
@@ -21,3 +25,21 @@ func ER(rows, cols int, p float64, seed int64) *Matrix { return matgen.ER(rows, 
 
 // BlockDiag generates nblocks dense diagonal blocks of size bs.
 func BlockDiag(nblocks, bs int, seed int64) *Matrix { return matgen.BlockDiag(nblocks, bs, seed) }
+
+// Revalue returns a copy of m with the same sparsity pattern (sharing
+// the structure slices) and fresh values drawn deterministically from
+// seed — the "new values, old plan" primitive of iterative workloads.
+// The result shares m's structural fingerprint, so plans cached for m
+// replay numeric-only on it.
+func Revalue(m *Matrix, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	fresh := &Matrix{
+		Rows: m.Rows, Cols: m.Cols,
+		RowOffsets: m.RowOffsets, ColIDs: m.ColIDs,
+		Data: make([]float64, len(m.Data)),
+	}
+	for i := range fresh.Data {
+		fresh.Data[i] = rng.NormFloat64()
+	}
+	return fresh
+}
