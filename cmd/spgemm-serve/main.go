@@ -43,6 +43,33 @@
 //
 //	spgemm-serve -cluster-soak -cluster 3 -soak-requests 60 \
 //	    -cluster-seed 7 -snapshot cluster-snapshot.json
+//
+// Networked cluster mode splits the same topology across real
+// processes. A coordinator serves the wire API with an empty
+// membership and replicas register themselves:
+//
+//	spgemm-serve -coordinator -addr :8097 -probe-interval 500ms
+//	spgemm-serve -addr :8098 -name r1 -join http://127.0.0.1:8097
+//	spgemm-serve -addr :8099 -name r2 -join http://127.0.0.1:8097
+//
+// Each -join replica heartbeats the coordinator and re-registers with
+// capped backoff after a coordinator restart; the coordinator dials
+// replicas back over HTTP (internal/cluster.RemoteReplica), so a
+// SIGKILLed replica is a real dead socket, not a simulated one.
+//
+// The networked soak driver (-drive-cluster) runs the acceptance
+// sweep CI uses against that topology: paced handle multiplies and
+// batch DAGs through the coordinator, every product's content handle
+// checked against the same multiply computed locally (byte-identity),
+// zero admitted requests lost. It writes the name of the replica that
+// owns the primary operand to -kill-target-file so the harness knows
+// which process to SIGKILL mid-sweep; with -expect-rejoin the final
+// merged snapshot must prove the failover, the rejoin and the spill
+// re-upload actually happened:
+//
+//	spgemm-serve -drive-cluster http://127.0.0.1:8097 -drive-replicas 3 \
+//	    -soak-requests 60 -expect-rejoin -kill-target-file kill-target \
+//	    -snapshot cluster-net-snapshot.json
 package main
 
 import (
@@ -51,9 +78,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -98,7 +127,36 @@ func main() {
 	soakRequests := flag.Int("soak-requests", 60, "cluster soak: requests in the sweep")
 	clusterSeed := flag.Int64("cluster-seed", 7, "cluster mode: chaos seed for replica fault injection")
 	clusterFailRate := flag.Float64("cluster-fail-rate", 0, "cluster mode: per-operation probability a replica drops a request")
+
+	coordMode := flag.Bool("coordinator", false, "run as a networked cluster coordinator: membership starts empty, replicas register via POST /v1/join")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "coordinator/cluster mode: background health probe cadence")
+	joinURL := flag.String("join", "", "coordinator base URL this replica registers with and heartbeats (server mode)")
+	replicaName := flag.String("name", "", "replica name sent on join (default replica-<port>)")
+	advertiseURL := flag.String("advertise", "", "base URL the coordinator dials this replica back on (default http://127.0.0.1:<port>)")
+
+	driveClusterURL := flag.String("drive-cluster", "", "drive mode: coordinator URL for the networked soak (paced handle multiplies + batch DAGs with byte-identity checks)")
+	driveReplicas := flag.Int("drive-replicas", 0, "drive-cluster: wait until this many replicas are up before driving (0 = don't wait)")
+	drivePace := flag.Duration("drive-pace", 100*time.Millisecond, "drive-cluster: pause between requests, so an external kill window lands mid-sweep")
+	expectRejoin := flag.Bool("expect-rejoin", false, "drive-cluster: fail unless the snapshot shows a failover, a rejoin and a spill re-upload")
+	killTargetFile := flag.String("kill-target-file", "", "drive-cluster: write the primary operand's owning replica name here once the sweep is underway (the harness's SIGKILL target)")
 	flag.Parse()
+
+	if *driveClusterURL != "" {
+		err := driveClusterSoak(driveClusterOptions{
+			coordURL:    *driveClusterURL,
+			requests:    *soakRequests,
+			seed:        *clusterSeed,
+			minReplicas: *driveReplicas,
+			pace:        *drivePace,
+			expectChaos: *expectRejoin,
+			killFile:    *killTargetFile,
+			snapshot:    *snapshotPath,
+		})
+		if err != nil {
+			log.Fatal("spgemm-serve: drive-cluster: ", err)
+		}
+		return
+	}
 
 	if *driveURL != "" {
 		var err error
@@ -162,28 +220,26 @@ func main() {
 
 	var handler http.Handler
 	var drain func(time.Duration) map[string]int64
-	if *clusterN > 1 {
+	switch {
+	case *coordMode:
+		coord := cluster.New(cluster.Config{})
+		stopProbe := startProbeLoop(coord, *probeInterval)
+		handler = coord.Handler()
+		drain = func(t time.Duration) map[string]int64 {
+			close(stopProbe)
+			return coord.Drain(t)
+		}
+		log.Printf("spgemm-serve: coordinator mode; waiting for replicas on /v1/join (probe every %v)", *probeInterval)
+	case *clusterN > 1:
 		coord, _ := buildCluster(cfg, *clusterN, *clusterSeed, *clusterFailRate)
-		stopProbe := make(chan struct{})
-		go func() {
-			tick := time.NewTicker(500 * time.Millisecond)
-			defer tick.Stop()
-			for {
-				select {
-				case <-tick.C:
-					coord.Probe()
-				case <-stopProbe:
-					return
-				}
-			}
-		}()
+		stopProbe := startProbeLoop(coord, *probeInterval)
 		handler = coord.Handler()
 		drain = func(t time.Duration) map[string]int64 {
 			close(stopProbe)
 			return coord.Drain(t)
 		}
 		log.Printf("spgemm-serve: cluster mode with %d in-process replicas", *clusterN)
-	} else {
+	default:
 		srv := serve.New(cfg)
 		handler = srv.Handler()
 		drain = srv.Drain
@@ -197,11 +253,24 @@ func main() {
 	}()
 	log.Printf("spgemm-serve: listening on %s (engines: %s)", *addr, strings.Join(spgemm.Engines(), ", "))
 
+	var joiner *cluster.Joiner
+	if *joinURL != "" {
+		name, adv := replicaIdentity(*addr, *replicaName, *advertiseURL)
+		joiner = cluster.NewJoiner(cluster.JoinerConfig{
+			Coordinator: *joinURL, Name: name, Advertise: adv,
+		})
+		joiner.Start()
+		log.Printf("spgemm-serve: joining %s as %s (advertising %s)", *joinURL, name, adv)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
 	got := <-sig
 	log.Printf("spgemm-serve: %v: draining (deadline %v)", got, *drainTimeout)
 
+	if joiner != nil {
+		joiner.Stop() // stop advertising before admission closes
+	}
 	snap := drain(*drainTimeout)
 	if err := writeSnapshot(*snapshotPath, snap); err != nil {
 		log.Fatal("spgemm-serve: ", err)
@@ -229,6 +298,236 @@ func buildCluster(cfg serve.Config, n int, seed int64, failRate float64) (*clust
 		chaos = append(chaos, cb)
 	}
 	return cluster.New(cluster.Config{}, backends...), chaos
+}
+
+// startProbeLoop runs the coordinator's background health probe until
+// the returned channel is closed.
+func startProbeLoop(coord *cluster.Coordinator, interval time.Duration) chan struct{} {
+	stop := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				coord.Probe()
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return stop
+}
+
+// replicaIdentity derives the join name and advertise URL from the
+// listen address when the flags leave them blank.
+func replicaIdentity(addr, name, advertise string) (string, string) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		host, port = "", strings.TrimPrefix(addr, ":")
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	if name == "" {
+		name = "replica-" + port
+	}
+	if advertise == "" {
+		advertise = "http://" + net.JoinHostPort(host, port)
+	}
+	return name, advertise
+}
+
+// contentHandle is the server's content address for a matrix — the
+// same derivation internal/serve's store uses, so a handle returned
+// over the wire equal to a locally computed one is a witness that the
+// remote product is byte-identical to the local multiply.
+func contentHandle(m *spgemm.Matrix) string {
+	return fmt.Sprintf("m-%016x%016x", spgemm.Fingerprint(m), spgemm.FingerprintValues(m))
+}
+
+type driveClusterOptions struct {
+	coordURL    string
+	requests    int
+	seed        int64
+	minReplicas int
+	pace        time.Duration
+	expectChaos bool
+	killFile    string
+	snapshot    string
+}
+
+// driveClusterSoak drives a networked cluster through its coordinator:
+// paced handle multiplies (StoreC) and batch DAG chains whose stored
+// products are checked for byte-identity against the same multiplies
+// computed locally. The sweep is paced so an external SIGKILL+restart
+// of a replica lands mid-stream; the kill target (the replica owning
+// the primary operand, so the dead socket is guaranteed to take
+// traffic) is written to killFile for the harness. Zero admitted
+// requests may be lost, and with expectChaos the merged snapshot must
+// reconcile: a failover happened, the killed replica rejoined, and its
+// voided placements were re-uploaded from spill in batched transfers.
+func driveClusterSoak(o driveClusterOptions) error {
+	cli := &apiv1.Client{
+		BaseURL: o.coordURL,
+		HTTP:    &http.Client{Timeout: 120 * time.Second},
+		// Shed-retry is the backstop for the instant where every
+		// candidate for a key is condemned; the coordinator's own
+		// failover absorbs everything else.
+		Retry: &apiv1.RetryPolicy{MaxAttempts: 10, MaxDelay: 2 * time.Second, Seed: o.seed},
+	}
+	if err := cli.WaitHealthy(30 * time.Second); err != nil {
+		return err
+	}
+	names, err := waitReplicas(cli, o.minReplicas)
+	if err != nil {
+		return err
+	}
+
+	// The primary operand, its expected products (A², A⁴) and its ring
+	// owner — computed locally with the very engine the replicas run.
+	m := spgemm.RMAT(6, 8, 0.57, 0.19, 0.19, o.seed)
+	cpuEng, err := spgemm.ByName("cpu")
+	if err != nil {
+		return err
+	}
+	a2, _, err := cpuEng.Run(m, m, nil)
+	if err != nil {
+		return err
+	}
+	a3, _, err := cpuEng.Run(a2, m, nil)
+	if err != nil {
+		return err
+	}
+	a4, _, err := cpuEng.Run(a3, m, nil)
+	if err != nil {
+		return err
+	}
+	wantA2, wantA4 := contentHandle(a2), contentHandle(a4)
+
+	mr, err := cli.StoreMatrix(apiv1.MatrixRequest{Data: apiv1.MatrixDataFrom(m)})
+	if err != nil {
+		return fmt.Errorf("seed store: %w", err)
+	}
+	handle := mr.Handle
+	if want := contentHandle(m); handle != want {
+		return fmt.Errorf("stored operand handle %s, want %s: content addressing diverged", handle, want)
+	}
+
+	killTarget := ""
+	if len(names) > 0 {
+		ring := cluster.NewRing(0)
+		for _, n := range names {
+			ring.Add(n)
+		}
+		killTarget = ring.Owner(spgemm.Fingerprint(m))
+	}
+
+	warmup := o.requests / 4
+	for r := 0; r < o.requests; r++ {
+		// Announce the kill target only once the sweep is underway, so
+		// the harness's SIGKILL lands mid-stream.
+		if r == warmup && o.killFile != "" && killTarget != "" {
+			if err := os.WriteFile(o.killFile, []byte(killTarget+"\n"), 0o644); err != nil {
+				return err
+			}
+			log.Printf("drive-cluster: kill target %s announced at request %d", killTarget, r)
+		}
+		if r%2 == 0 {
+			resp, err := cli.Multiply(apiv1.MultiplyRequest{Engine: "cpu", AHandle: handle, StoreC: true})
+			if err != nil {
+				return fmt.Errorf("request %d (handle multiply) lost: %w", r, err)
+			}
+			if resp.CHandle != wantA2 {
+				return fmt.Errorf("request %d: stored product %s, want %s: remote result not byte-identical", r, resp.CHandle, wantA2)
+			}
+		} else {
+			resp, err := cli.Batch(apiv1.BatchRequest{
+				Engine: "cpu",
+				Nodes: []apiv1.BatchNode{
+					{ID: "s1", A: apiv1.Operand{Handle: handle}},
+					{ID: "s2", A: apiv1.Operand{Node: "s1"}, B: &apiv1.Operand{Handle: handle}},
+					{ID: "s3", A: apiv1.Operand{Node: "s2"}, B: &apiv1.Operand{Handle: handle}, Store: true},
+				},
+			})
+			if err != nil {
+				return fmt.Errorf("request %d (batch DAG) lost: %w", r, err)
+			}
+			for _, n := range resp.Nodes {
+				if n.Status != apiv1.StatusOK {
+					return fmt.Errorf("request %d: batch node %s status %s", r, n.ID, n.Status)
+				}
+				if n.ID == "s3" && n.Handle != wantA4 {
+					return fmt.Errorf("request %d: chain product %s, want %s: remote result not byte-identical", r, n.Handle, wantA4)
+				}
+			}
+		}
+		time.Sleep(o.pace)
+	}
+
+	rawSnap, err := cli.Metrics()
+	if err != nil {
+		return fmt.Errorf("metricsz: %w", err)
+	}
+	snap := make(map[string]int64, len(rawSnap))
+	for k, v := range rawSnap {
+		snap[k] = int64(v)
+	}
+	if err := writeSnapshot(o.snapshot, snap); err != nil {
+		return err
+	}
+	fmt.Printf("drive-cluster: %d requests, failovers=%d rejoins=%d reupload_batches=%d reupload_bytes=%d down=%d up=%d timeouts=%d refused=%d\n",
+		o.requests,
+		snap[metrics.CounterClusterFailovers], snap[metrics.CounterClusterRejoins],
+		snap[metrics.CounterClusterSpillReuploadBatch], snap[metrics.CounterClusterSpillReuploadBytes],
+		snap[metrics.CounterClusterReplicaDown], snap[metrics.CounterClusterReplicaUp],
+		snap[metrics.CounterClusterRemoteTimeouts], snap[metrics.CounterClusterRemoteRefused])
+
+	if snap[metrics.CounterServeFailed]+snap[metrics.CounterServePanicked] != 0 {
+		return fmt.Errorf("replica-side failures during soak: failed=%d panicked=%d",
+			snap[metrics.CounterServeFailed], snap[metrics.CounterServePanicked])
+	}
+	if o.expectChaos {
+		if snap[metrics.CounterClusterFailovers] == 0 {
+			return fmt.Errorf("kill window produced no failovers")
+		}
+		if snap[metrics.CounterClusterRejoins] == 0 {
+			return fmt.Errorf("killed replica never rejoined")
+		}
+		if snap[metrics.CounterClusterSpillReuploadBatch] == 0 {
+			return fmt.Errorf("no batched spill re-upload happened")
+		}
+		if snap[metrics.CounterClusterReplicaDown] == 0 || snap[metrics.CounterClusterReplicaUp] == 0 {
+			return fmt.Errorf("health machine saw no down/up transition: down=%d up=%d",
+				snap[metrics.CounterClusterReplicaDown], snap[metrics.CounterClusterReplicaUp])
+		}
+	}
+	return nil
+}
+
+// waitReplicas polls the coordinator's /readyz until min replicas are
+// up, returning the sorted membership names.
+func waitReplicas(cli *apiv1.Client, min int) ([]string, error) {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var names []string
+		rr, err := cli.Ready()
+		if err == nil {
+			for name, health := range rr.Replicas {
+				if health == cluster.HealthUp {
+					names = append(names, name)
+				}
+			}
+		}
+		if min <= 0 || len(names) >= min {
+			sort.Strings(names)
+			return names, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("only %d of %d replicas up after 60s (last readyz err: %v)", len(names), min, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
 }
 
 // runClusterSoak is the chaos acceptance sweep: with a fixed seed,

@@ -58,8 +58,15 @@ type Config struct {
 	VirtualNodes int
 	// ShedRetries is how many times a shed request (429-class) is
 	// retried against the same replica before the rejection surfaces to
-	// the client. Default 2; negative disables retries.
+	// the client. Default 2. (The legacy negative sentinel still
+	// disables retries, but DisableShedRetries is the explicit,
+	// zero-value-safe way to say it.)
 	ShedRetries int
+	// DisableShedRetries turns shed retries off outright. It wins over
+	// any ShedRetries value, so a zero-valued Config stays on the
+	// default policy and disabling is an explicit field, not a
+	// sentinel.
+	DisableShedRetries bool
 	// RetryBase and RetryMax bound the exponential backoff between shed
 	// retries; a Retry-After hint from the replica overrides the
 	// exponential schedule but still respects RetryMax. Defaults
@@ -73,6 +80,15 @@ type Config struct {
 	// and takes the first answer — tail-latency insurance bought with
 	// duplicate work, so it is opt-in.
 	Hedge bool
+	// Heartbeat is the cadence the coordinator hands to joining
+	// replicas (0 = 2s): miss enough heartbeats and the probe loop's
+	// evidence condemns as usual — the join protocol adds membership,
+	// not a second health machine.
+	Heartbeat time.Duration
+	// NewBackend constructs the Backend for a /v1/join registration.
+	// Nil means a RemoteReplica with default timeouts; tests swap in
+	// stubs or fault-proxied transports.
+	NewBackend func(name, url string) Backend
 	// Sleep is the backoff clock, swappable in tests. Defaults to
 	// time.Sleep.
 	Sleep func(time.Duration)
@@ -85,8 +101,16 @@ func (c Config) withDefaults() Config {
 	if c.ShedRetries == 0 {
 		c.ShedRetries = 2
 	}
-	if c.ShedRetries < 0 {
+	if c.ShedRetries < 0 || c.DisableShedRetries {
 		c.ShedRetries = 0
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 2 * time.Second
+	}
+	if c.NewBackend == nil {
+		c.NewBackend = func(name, url string) Backend {
+			return NewRemoteReplica(name, url, RemoteConfig{})
+		}
 	}
 	if c.RetryBase <= 0 {
 		c.RetryBase = 5 * time.Millisecond
@@ -108,6 +132,10 @@ type replicaState struct {
 	backend    Backend
 	health     string
 	probeFails int
+	// url is the advertised base URL of a joined remote replica (""
+	// for in-process backends); the membership table keys rejoin
+	// detection on it.
+	url string
 }
 
 // spillEntry is the coordinator's durable copy of one stored matrix:
@@ -156,6 +184,62 @@ func (c *Coordinator) AddReplica(b Backend) {
 	}
 	c.replicas[b.Name()] = &replicaState{backend: b, health: HealthUp}
 	c.ring.Add(b.Name())
+}
+
+// Join serves a /v1/join registration or heartbeat. Three cases:
+//
+//   - Unknown name: a new replica. Build its Backend (Config.NewBackend),
+//     add it to the ring in state up, count a join.
+//   - Known name, not up (or a changed URL): a rejoin — the process
+//     behind the name restarted, so its placements are void (its store
+//     restarted empty; any record to the contrary is healed by the
+//     unknown_handle → re-upload path anyway). Revive to up, count a
+//     join and a rejoin.
+//   - Known name, up, same URL: a plain heartbeat; nothing counted.
+//
+// The response tells the replica the heartbeat cadence and the current
+// membership size. Join never removes anyone: leaving is the health
+// machine's call, not the protocol's.
+func (c *Coordinator) Join(req apiv1.JoinRequest) (*apiv1.JoinResponse, error) {
+	if req.Name == "" || req.URL == "" {
+		return nil, fmt.Errorf("cluster: join needs name and url")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return nil, &serve.DrainingError{}
+	}
+	st := c.replicas[req.Name]
+	rejoined := false
+	switch {
+	case st == nil:
+		b := c.cfg.NewBackend(req.Name, req.URL)
+		c.replicas[req.Name] = &replicaState{backend: b, health: HealthUp, url: req.URL}
+		c.ring.Add(req.Name)
+		c.col.Add(metrics.CounterClusterJoins, 1)
+	case st.health != HealthUp || st.url != req.URL:
+		rejoined = true
+		if st.url != req.URL {
+			st.backend = c.cfg.NewBackend(req.Name, req.URL)
+			st.url = req.URL
+		}
+		st.probeFails = 0
+		c.setHealthLocked(req.Name, HealthUp)
+		for _, ent := range c.spill {
+			delete(ent.placed, req.Name)
+		}
+		c.col.Add(metrics.CounterClusterJoins, 1)
+		c.col.Add(metrics.CounterClusterRejoins, 1)
+	default:
+		// Healthy heartbeat: refresh the probe evidence, count nothing.
+		st.probeFails = 0
+	}
+	return &apiv1.JoinResponse{
+		Name:         req.Name,
+		Rejoined:     rejoined,
+		Replicas:     len(c.replicas),
+		HeartbeatSec: c.cfg.Heartbeat.Seconds(),
+	}, nil
 }
 
 // Health reports every replica's current state (a copy).
@@ -228,20 +312,34 @@ func (c *Coordinator) setHealthLocked(name, health string) {
 	st.health = health
 }
 
-// noteFailure feeds request-path evidence into the state machine: an
-// ErrReplicaDown from live traffic is direct proof, so it condemns
-// immediately rather than waiting for the probe cadence.
-func (c *Coordinator) noteFailure(name string) {
+// noteFailure feeds request-path evidence into the state machine,
+// weighted by what the failure says about the replica. A refused
+// connection or a plain ErrReplicaDown is direct proof nothing is
+// listening: condemn immediately. A transport timeout or reset may be
+// one slow peer or one bad exchange, so it is one unit of suspect
+// evidence — DownAfter of them condemn, exactly like failed probes.
+// Placements are voided only on the condemning transition: whatever a
+// dead replica held is gone when (if) it returns.
+func (c *Coordinator) noteFailure(name string, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.replicas[name]
 	if st == nil {
 		return
 	}
-	st.probeFails = c.cfg.DownAfter
+	var te *TransportError
+	if errors.As(err, &te) && te.Kind != TransportRefused {
+		st.probeFails++
+		if st.probeFails < c.cfg.DownAfter {
+			if st.health == HealthUp || st.health == HealthDraining {
+				c.setHealthLocked(name, HealthSuspect)
+			}
+			return
+		}
+	} else {
+		st.probeFails = c.cfg.DownAfter
+	}
 	c.setHealthLocked(name, HealthDown)
-	// Placements on a dead replica are void: whatever it held is gone
-	// when (if) it returns.
 	for _, ent := range c.spill {
 		delete(ent.placed, name)
 	}
@@ -386,33 +484,41 @@ func (c *Coordinator) recordSpill(handle string, m *spgemm.Matrix, replica strin
 }
 
 // ensurePlaced re-uploads any of the handles the named replica is
-// missing, from the coordinator's spill copies. A handle with no spill
-// copy (stored before the coordinator, or already deleted) is the
-// replica's own problem — the request will surface unknown_handle.
+// missing, from the coordinator's spill copies — batched into one
+// StoreMany call, so a successor takeover during failover is one
+// pipelined transfer rather than N serial round trips. A handle with
+// no spill copy (stored before the coordinator, or already deleted) is
+// the replica's own problem — the request will surface unknown_handle.
 func (c *Coordinator) ensurePlaced(name string, handles []string) error {
+	c.mu.Lock()
+	var missing []*spgemm.Matrix
+	var missingHandles []string
+	var bytes int64
 	for _, h := range handles {
-		c.mu.Lock()
-		ent := c.spill[h]
-		var need bool
-		var m *spgemm.Matrix
-		if ent != nil && !ent.placed[name] {
-			need, m = true, ent.m
+		if ent := c.spill[h]; ent != nil && !ent.placed[name] {
+			missing = append(missing, ent.m)
+			missingHandles = append(missingHandles, h)
+			bytes += ent.m.Bytes()
 		}
-		b := c.replicas[name].backend
-		c.mu.Unlock()
-		if !need {
-			continue
-		}
-		if _, err := b.Store(m); err != nil {
-			return err
-		}
-		c.col.Add(metrics.CounterClusterRebalances, 1)
-		c.mu.Lock()
+	}
+	st := c.replicas[name]
+	c.mu.Unlock()
+	if len(missing) == 0 || st == nil {
+		return nil
+	}
+	if _, err := st.backend.StoreMany(missing); err != nil {
+		return err
+	}
+	c.col.Add(metrics.CounterClusterRebalances, int64(len(missing)))
+	c.col.Add(metrics.CounterClusterSpillReuploadBatch, 1)
+	c.col.Add(metrics.CounterClusterSpillReuploadBytes, bytes)
+	c.mu.Lock()
+	for _, h := range missingHandles {
 		if ent := c.spill[h]; ent != nil {
 			ent.placed[name] = true
 		}
-		c.mu.Unlock()
 	}
+	c.mu.Unlock()
 	return nil
 }
 
@@ -427,6 +533,11 @@ func (c *Coordinator) ensurePlaced(name string, handles []string) error {
 func (c *Coordinator) StoreFromRequest(req apiv1.MatrixRequest) (*apiv1.MatrixResponse, error) {
 	var m *spgemm.Matrix
 	switch {
+	case req.Data != nil:
+		var err error
+		if m, err = req.Data.Matrix(); err != nil {
+			return nil, err
+		}
 	case req.Handle != "":
 		c.mu.Lock()
 		ent := c.spill[req.Handle]
@@ -451,6 +562,23 @@ func (c *Coordinator) StoreFromRequest(req apiv1.MatrixRequest) (*apiv1.MatrixRe
 		Handle: handle, Rows: m.Rows, Cols: m.Cols, Nnz: m.Nnz(), Bytes: m.Bytes(),
 		StructureFP: fmt.Sprintf("%016x", spgemm.Fingerprint(m)),
 	}, nil
+}
+
+// StoreBulk places each matrix of the batch through the normal
+// store path (ring owner + spill), failing on the first bad entry.
+func (c *Coordinator) StoreBulk(req apiv1.MatrixBatchRequest) (*apiv1.MatrixBatchResponse, error) {
+	if len(req.Matrices) == 0 {
+		return nil, fmt.Errorf("cluster: bulk store needs at least one matrix")
+	}
+	out := &apiv1.MatrixBatchResponse{Matrices: make([]apiv1.MatrixResponse, 0, len(req.Matrices))}
+	for i := range req.Matrices {
+		resp, err := c.StoreFromRequest(req.Matrices[i])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bulk store entry %d: %w", i, err)
+		}
+		out.Matrices = append(out.Matrices, *resp)
+	}
+	return out, nil
 }
 
 // StoreMatrix places a matrix on its ring owner and keeps the spill
@@ -481,7 +609,7 @@ func (c *Coordinator) StoreMatrix(m *spgemm.Matrix) (string, error) {
 		}
 		lastErr = err
 		if errors.Is(err, faults.ErrReplicaDown) {
-			c.noteFailure(name)
+			c.noteFailure(name, err)
 			continue
 		}
 		return "", err
@@ -542,7 +670,7 @@ func (c *Coordinator) Multiply(req apiv1.MultiplyRequest) (*apiv1.MultiplyRespon
 		lastErr = err
 		switch {
 		case errors.Is(err, faults.ErrReplicaDown):
-			c.noteFailure(name)
+			c.noteFailure(name, err)
 			continue
 		case isDraining(err):
 			c.setDraining(name)
@@ -650,7 +778,7 @@ func (c *Coordinator) hedgedMultiply(req apiv1.MultiplyRequest, cands []string) 
 			}
 			resp, err := b.Multiply(req)
 			if err != nil && errors.Is(err, faults.ErrReplicaDown) {
-				c.noteFailure(name)
+				c.noteFailure(name, err)
 			}
 			ch <- answer{resp: resp, err: err, from: i}
 		}()
@@ -701,7 +829,7 @@ func (c *Coordinator) Batch(req *apiv1.BatchRequest) (*apiv1.BatchResponse, erro
 		lastErr = err
 		switch {
 		case errors.Is(err, faults.ErrReplicaDown):
-			c.noteFailure(name)
+			c.noteFailure(name, err)
 			continue
 		case isDraining(err):
 			c.setDraining(name)

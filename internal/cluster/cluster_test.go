@@ -360,6 +360,9 @@ func (s *stubBackend) Batch(*apiv1.BatchRequest) (*apiv1.BatchResponse, error) {
 	return nil, fmt.Errorf("stub: no batch")
 }
 func (s *stubBackend) Store(*spgemm.Matrix) (string, error)    { return "", fmt.Errorf("stub: no store") }
+func (s *stubBackend) StoreMany([]*spgemm.Matrix) ([]string, error) {
+	return nil, fmt.Errorf("stub: no store")
+}
 func (s *stubBackend) Matrix(string) (*spgemm.Matrix, bool)    { return nil, false }
 func (s *stubBackend) Delete(string) bool                      { return false }
 func (s *stubBackend) Ready() (apiv1.ReadyResponse, error)     { return apiv1.ReadyResponse{Status: apiv1.ReadyStatusReady}, nil }
@@ -422,6 +425,48 @@ func TestClusterShedRetryExhaustion(t *testing.T) {
 	// Exponential backoff capped at RetryMax: 5ms, then 10ms -> 8ms.
 	if len(slept) != 2 || slept[0] != 5*time.Millisecond || slept[1] != 8*time.Millisecond {
 		t.Fatalf("backoff schedule %v, want [5ms 8ms]", slept)
+	}
+}
+
+// TestClusterShedRetriesConfig pins the retry-count configuration
+// surface: zero value means the default policy, DisableShedRetries is
+// the explicit off switch (and wins over any count), and the legacy
+// negative sentinel still disables.
+func TestClusterShedRetriesConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want int
+	}{
+		{"zero value keeps default", Config{}, 2},
+		{"explicit count", Config{ShedRetries: 5}, 5},
+		{"legacy negative sentinel disables", Config{ShedRetries: -1}, 0},
+		{"explicit disable", Config{DisableShedRetries: true}, 0},
+		{"disable wins over a count", Config{ShedRetries: 5, DisableShedRetries: true}, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.withDefaults().ShedRetries; got != tc.want {
+			t.Errorf("%s: ShedRetries = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+
+	// Behavior check for the explicit off switch: one call, no sleeps,
+	// the shed surfaces immediately.
+	var calls int
+	stub := &stubBackend{name: "r0", multiplyFn: func(apiv1.MultiplyRequest) (*apiv1.MultiplyResponse, error) {
+		calls++
+		return nil, &serve.QueueFullError{Depth: 4}
+	}}
+	c := New(Config{
+		DisableShedRetries: true,
+		Sleep:              func(time.Duration) { t.Fatal("disabled retries must not sleep") },
+	}, stub)
+	_, err := c.Multiply(apiv1.MultiplyRequest{Engine: "cpu", A: apiv1.MatrixSpec{Kind: "er", Rows: 8, Cols: 8, Density: 0.5, Seed: 1}})
+	if !faults.Shedding(err) {
+		t.Fatalf("disabled retries returned %v, want the shed surfaced", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retries)", calls)
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/serve"
 	apiv1 "repro/spgemm/api/v1"
@@ -20,7 +22,11 @@ import (
 //	POST   /v1/multiply          — routed by structural fingerprint
 //	POST   /v1/batch             — whole DAG routed to one replica
 //	POST   /v1/matrices          — placed on the ring owner, spilled for failover
+//	POST   /v1/matrices/bulk     — several matrices placed in one request
+//	GET    /v1/matrices/{handle} — the spill copy's raw CSR payload
 //	DELETE /v1/matrices/{handle} — dropped everywhere it lives
+//	POST   /v1/join              — replica registration + heartbeat
+//	POST   /v1/admin/drain       — drain every replica, answer merged counters
 //
 // Errors ride the shared apiv1 envelope via serve.WriteError, with the
 // cluster-specific replica_down code (503 + Retry-After) when no
@@ -33,17 +39,37 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/v1/multiply", guard(http.MethodPost, c.handleMultiply))
 	mux.HandleFunc("/v1/batch", guard(http.MethodPost, c.handleBatch))
 	mux.HandleFunc("/v1/matrices", guard(http.MethodPost, c.handleMatrices))
-	mux.HandleFunc("/v1/matrices/", guard(http.MethodDelete, c.handleMatrixByHandle))
+	mux.HandleFunc("/v1/matrices/bulk", guard(http.MethodPost, c.handleMatricesBulk))
+	mux.HandleFunc("/v1/matrices/", guardMethods(map[string]http.HandlerFunc{
+		http.MethodGet:    c.handleMatrixGet,
+		http.MethodDelete: c.handleMatrixDelete,
+	}))
+	mux.HandleFunc("/v1/join", guard(http.MethodPost, c.handleJoin))
+	mux.HandleFunc("/v1/admin/drain", guard(http.MethodPost, c.handleAdminDrain))
 	return mux
 }
 
 func guard(method string, h http.HandlerFunc) http.HandlerFunc {
+	return guardMethods(map[string]http.HandlerFunc{method: h})
+}
+
+// guardMethods dispatches on the allowed method set; anything else is
+// 405 with a deterministic sorted Allow header and the envelope —
+// identical behavior to the single server's guard, by contract.
+func guardMethods(handlers map[string]http.HandlerFunc) http.HandlerFunc {
+	allowed := make([]string, 0, len(handlers))
+	for m := range handlers {
+		allowed = append(allowed, m)
+	}
+	sort.Strings(allowed)
+	allow := strings.Join(allowed, ", ")
 	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != method {
-			w.Header().Set("Allow", method)
+		h, ok := handlers[r.Method]
+		if !ok {
+			w.Header().Set("Allow", allow)
 			writeJSON(w, http.StatusMethodNotAllowed, apiv1.ErrorResponse{
 				Code:  apiv1.CodeMethodNotAllowed,
-				Error: fmt.Sprintf("method %s not allowed (use %s)", r.Method, method),
+				Error: fmt.Sprintf("method %s not allowed (use %s)", r.Method, allow),
 			})
 			return
 		}
@@ -125,11 +151,72 @@ func (c *Coordinator) handleMatrices(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (c *Coordinator) handleMatrixByHandle(w http.ResponseWriter, r *http.Request) {
+// handleMatricesBulk places several matrices in one request — the same
+// bulk surface the replicas expose, so a client can speak to either.
+func (c *Coordinator) handleMatricesBulk(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.MatrixBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiv1.ErrorResponse{Code: apiv1.CodeBadRequest, Error: "bad request body: " + err.Error()})
+		return
+	}
+	resp, err := c.StoreBulk(req)
+	if err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMatrixGet answers from the coordinator's spill copy — the
+// authoritative record of everything stored through it, reachable even
+// while the handle's owner is down.
+func (c *Coordinator) handleMatrixGet(w http.ResponseWriter, r *http.Request) {
+	handle := strings.TrimPrefix(r.URL.Path, "/v1/matrices/")
+	c.mu.Lock()
+	ent := c.spill[handle]
+	c.mu.Unlock()
+	if ent == nil {
+		serve.WriteError(w, &serve.UnknownHandleError{Handle: handle})
+		return
+	}
+	writeJSON(w, http.StatusOK, apiv1.MatrixDataFrom(ent.m))
+}
+
+func (c *Coordinator) handleMatrixDelete(w http.ResponseWriter, r *http.Request) {
 	handle := strings.TrimPrefix(r.URL.Path, "/v1/matrices/")
 	if !c.DeleteMatrix(handle) {
 		serve.WriteError(w, &serve.UnknownHandleError{Handle: handle})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": handle})
+}
+
+// handleJoin serves replica registration and heartbeat.
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.JoinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiv1.ErrorResponse{Code: apiv1.CodeBadRequest, Error: "bad request body: " + err.Error()})
+		return
+	}
+	resp, err := c.Join(req)
+	if err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAdminDrain drains the whole cluster and answers the merged
+// final counters — the reconciliation snapshot of the soak harness.
+func (c *Coordinator) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.DrainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiv1.ErrorResponse{Code: apiv1.CodeBadRequest, Error: "bad request body: " + err.Error()})
+		return
+	}
+	timeout := 30 * time.Second
+	if req.TimeoutSec > 0 {
+		timeout = time.Duration(req.TimeoutSec * float64(time.Second))
+	}
+	writeJSON(w, http.StatusOK, apiv1.DrainResponse{Counters: c.Drain(timeout)})
 }

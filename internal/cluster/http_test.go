@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	apiv1 "repro/spgemm/api/v1"
@@ -95,6 +96,105 @@ func TestClusterHTTPSurface(t *testing.T) {
 	dr.Body.Close()
 	if dr.StatusCode != http.StatusNotFound {
 		t.Fatalf("bogus delete: %d", dr.StatusCode)
+	}
+}
+
+// TestClusterHTTPMethodParity pins 405 + the deterministic Allow
+// header + the envelope code on every route — the same contract the
+// single server's surface keeps, so clients cannot tell them apart.
+func TestClusterHTTPMethodParity(t *testing.T) {
+	tc := newTestCluster(t, 1, Config{})
+	ts := httptest.NewServer(tc.c.Handler())
+	defer ts.Close()
+
+	routes := []struct {
+		method, path, allow string
+	}{
+		{http.MethodPost, "/healthz", http.MethodGet},
+		{http.MethodPost, "/readyz", http.MethodGet},
+		{http.MethodPost, "/metricsz", http.MethodGet},
+		{http.MethodGet, "/v1/multiply", http.MethodPost},
+		{http.MethodGet, "/v1/batch", http.MethodPost},
+		{http.MethodGet, "/v1/matrices", http.MethodPost},
+		{http.MethodGet, "/v1/matrices/bulk", http.MethodPost},
+		{http.MethodPut, "/v1/matrices/deadbeef", "DELETE, GET"},
+		{http.MethodGet, "/v1/join", http.MethodPost},
+		{http.MethodGet, "/v1/admin/drain", http.MethodPost},
+	}
+	for _, rt := range routes {
+		req, _ := http.NewRequest(rt.method, ts.URL+rt.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env apiv1.ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", rt.method, rt.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != rt.allow {
+			t.Errorf("%s %s: Allow %q, want %q", rt.method, rt.path, got, rt.allow)
+		}
+		if env.Code != apiv1.CodeMethodNotAllowed {
+			t.Errorf("%s %s: code %q, want %q", rt.method, rt.path, env.Code, apiv1.CodeMethodNotAllowed)
+		}
+	}
+}
+
+// TestClusterHTTPMalformedJSON pins the 400 bad_request envelope on
+// every body-taking route.
+func TestClusterHTTPMalformedJSON(t *testing.T) {
+	tc := newTestCluster(t, 1, Config{})
+	ts := httptest.NewServer(tc.c.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{
+		"/v1/multiply", "/v1/batch", "/v1/matrices", "/v1/matrices/bulk",
+		"/v1/join", "/v1/admin/drain",
+	} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env apiv1.ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || env.Code != apiv1.CodeBadRequest {
+			t.Errorf("POST %s with garbage: status %d code %q, want 400 %q",
+				path, resp.StatusCode, env.Code, apiv1.CodeBadRequest)
+		}
+	}
+}
+
+// TestClusterHTTPRetryAfterOnReplicaDown pins the Retry-After header on
+// every request path's replica_down 503 — multiply, batch and store
+// must all tell the client when to come back.
+func TestClusterHTTPRetryAfterOnReplicaDown(t *testing.T) {
+	tc := newTestCluster(t, 1, Config{})
+	ts := httptest.NewServer(tc.c.Handler())
+	defer ts.Close()
+	tc.chaos["r0"].Kill()
+	tc.c.Probe()
+	tc.c.Probe()
+
+	bodies := map[string]any{
+		"/v1/multiply": apiv1.MultiplyRequest{Engine: "cpu", A: apiv1.MatrixSpec{Kind: "er", Rows: 8, Cols: 8, Density: 0.5, Seed: 1}},
+		"/v1/batch":    apiv1.BatchRequest{Engine: "cpu", Nodes: []apiv1.BatchNode{{ID: "n", A: apiv1.Operand{Spec: &apiv1.MatrixSpec{Kind: "er", Rows: 8, Cols: 8, Density: 0.5, Seed: 1}}}}},
+		"/v1/matrices": apiv1.MatrixRequest{Spec: &apiv1.MatrixSpec{Kind: "er", Rows: 8, Cols: 8, Density: 0.5, Seed: 1}},
+	}
+	for path, body := range bodies {
+		resp, env := postJSON(t, ts.URL+path, body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s all-down: status %d, want 503 (%v)", path, resp.StatusCode, env)
+			continue
+		}
+		if code, _ := env["code"].(string); code != apiv1.CodeReplicaDown {
+			t.Errorf("%s all-down: code %q, want %q", path, code, apiv1.CodeReplicaDown)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%s all-down: missing Retry-After", path)
+		}
 	}
 }
 

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	apiv1 "repro/spgemm/api/v1"
+)
+
+// waitRecorder captures the joiner's waits without real sleeping.
+type waitRecorder struct {
+	mu    sync.Mutex
+	waits []time.Duration
+}
+
+func (w *waitRecorder) sleep(d time.Duration) {
+	w.mu.Lock()
+	w.waits = append(w.waits, d)
+	w.mu.Unlock()
+	time.Sleep(100 * time.Microsecond) // keep the hot loop polite
+}
+
+func (w *waitRecorder) snapshot() []time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]time.Duration(nil), w.waits...)
+}
+
+// TestJoinerBackoffCapsAndResets scripts a coordinator outage: the
+// first five joins fail, then service returns. The waits must follow
+// the capped doubling schedule (500ms → 8s) and snap back to the
+// heartbeat cadence on the first success.
+func TestJoinerBackoffCapsAndResets(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 5 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(apiv1.ErrorResponse{Code: apiv1.CodeReplicaDown, Error: "coordinator restarting"})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(apiv1.JoinResponse{Name: "r0", HeartbeatSec: 3})
+	}))
+	defer ts.Close()
+
+	rec := &waitRecorder{}
+	j := NewJoiner(JoinerConfig{
+		Coordinator: ts.URL, Name: "r0", Advertise: "http://127.0.0.1:1",
+		Sleep: rec.sleep,
+	})
+	j.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Counters()["joins_sent"] < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("joiner never recovered: %+v, lastErr %v", j.Counters(), j.LastErr())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j.Stop()
+
+	waits := rec.snapshot()
+	want := []time.Duration{
+		500 * time.Millisecond, time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+		3 * time.Second, // first success: heartbeat cadence from the response
+	}
+	if len(waits) < len(want) {
+		t.Fatalf("recorded %d waits, want at least %d: %v", len(waits), len(want), waits)
+	}
+	for i, w := range want {
+		if waits[i] != w {
+			t.Fatalf("wait %d = %v, want %v (all: %v)", i, waits[i], w, waits)
+		}
+	}
+	c := j.Counters()
+	if c["join_failures"] != 5 || c["joins_sent"] < 2 {
+		t.Fatalf("counters = %+v, want 5 failures and >=2 joins", c)
+	}
+	if j.LastErr() != nil {
+		t.Fatalf("lastErr after recovery = %v, want nil", j.LastErr())
+	}
+}
+
+// TestJoinerRegistersAndRevives runs a real coordinator over HTTP: a
+// joiner registers a (stub) replica, request-path evidence condemns
+// it, and the next heartbeat revives it with a rejoined ack — the
+// whole membership protocol end to end, minus only real replica
+// processes.
+func TestJoinerRegistersAndRevives(t *testing.T) {
+	stub := &stubBackend{name: "r9"}
+	coord := New(Config{NewBackend: func(name, url string) Backend { return stub }})
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	rec := &waitRecorder{}
+	j := NewJoiner(JoinerConfig{
+		Coordinator: ts.URL, Name: "r9", Advertise: "http://127.0.0.1:2",
+		Sleep: rec.sleep,
+	})
+	j.Start()
+	defer j.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.Health()["r9"] != HealthUp {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never registered: health %v", coord.Health())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := coord.Snapshot()[metrics.CounterClusterJoins]; got != 1 {
+		t.Fatalf("join_total after first registration = %d, want 1", got)
+	}
+
+	// Heartbeats while healthy change nothing.
+	base := j.Counters()["joins_sent"]
+	for j.Counters()["joins_sent"] < base+3 {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeats stalled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := coord.Snapshot()[metrics.CounterClusterJoins]; got != 1 {
+		t.Fatalf("join_total after heartbeats = %d, want still 1", got)
+	}
+	if got := coord.Snapshot()[metrics.CounterClusterRejoins]; got != 0 {
+		t.Fatalf("rejoin_total while healthy = %d, want 0", got)
+	}
+
+	// Request-path proof of death: the next heartbeat is a rejoin.
+	coord.noteFailure("r9", noHealthyReplica())
+	if coord.Health()["r9"] != HealthDown {
+		t.Fatalf("health after condemnation = %v", coord.Health())
+	}
+	for coord.Health()["r9"] != HealthUp {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never revived: health %v", coord.Health())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := coord.Snapshot()[metrics.CounterClusterRejoins]; got != 1 {
+		t.Fatalf("rejoin_total after revival = %d, want 1", got)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for j.Counters()["rejoin_acks"] < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("joiner never saw the rejoin ack: %+v", j.Counters())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

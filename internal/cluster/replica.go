@@ -24,6 +24,10 @@ type Backend interface {
 	Multiply(req apiv1.MultiplyRequest) (*apiv1.MultiplyResponse, error)
 	Batch(req *apiv1.BatchRequest) (*apiv1.BatchResponse, error)
 	Store(m *spgemm.Matrix) (string, error)
+	// StoreMany uploads a set of matrices as one pipelined transfer —
+	// the failover re-upload path. Implementations may fan it out to
+	// Store, but a remote backend turns it into a single round trip.
+	StoreMany(ms []*spgemm.Matrix) ([]string, error)
 	Matrix(handle string) (*spgemm.Matrix, bool)
 	Delete(handle string) bool
 	Ready() (apiv1.ReadyResponse, error)
@@ -51,6 +55,17 @@ func (r *localReplica) Batch(req *apiv1.BatchRequest) (*apiv1.BatchResponse, err
 	return r.s.SubmitBatch(req)
 }
 func (r *localReplica) Store(m *spgemm.Matrix) (string, error)      { return r.s.StoreMatrix(m) }
+func (r *localReplica) StoreMany(ms []*spgemm.Matrix) ([]string, error) {
+	handles := make([]string, len(ms))
+	for i, m := range ms {
+		h, err := r.s.StoreMatrix(m)
+		if err != nil {
+			return nil, err
+		}
+		handles[i] = h
+	}
+	return handles, nil
+}
 func (r *localReplica) Matrix(h string) (*spgemm.Matrix, bool)      { return r.s.Matrix(h) }
 func (r *localReplica) Delete(h string) bool                        { return r.s.DeleteMatrix(h) }
 func (r *localReplica) Ready() (apiv1.ReadyResponse, error)         { return r.s.Ready(), nil }
@@ -159,6 +174,15 @@ func (c *ChaosBackend) Store(m *spgemm.Matrix) (string, error) {
 		return "", err
 	}
 	return c.inner.Store(m)
+}
+
+// StoreMany charges one fault-schedule step for the whole batch: on
+// the wire it is one exchange, and the chaos model mirrors that.
+func (c *ChaosBackend) StoreMany(ms []*spgemm.Matrix) ([]string, error) {
+	if err := c.step(); err != nil {
+		return nil, err
+	}
+	return c.inner.StoreMany(ms)
 }
 
 func (c *ChaosBackend) Matrix(h string) (*spgemm.Matrix, bool) {

@@ -1,0 +1,244 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// NetProxy is a seeded TCP fault proxy: it forwards connections to a
+// target address while injecting the network's failure modes on a
+// deterministic schedule — added latency (slow peer), dropped
+// connections (accept, then RST before a byte flows), and mid-body
+// resets (forward the exchange, then RST after N response bytes). A
+// Partition toggle closes the listening socket entirely, so dials see
+// connection refused — the one failure a live proxy process cannot
+// fake by misbehaving on an accepted connection.
+//
+// Fates are drawn per accepted connection from the seeded RNG, in
+// accept order, so a test driving requests sequentially over
+// keep-alive-disabled connections replays the identical fault sequence
+// for a seed. This is internal/faults' philosophy applied to the wire:
+// chaos you can put in a regression test.
+type NetProxyConfig struct {
+	// Seed feeds the fate RNG.
+	Seed int64
+	// Listen is the address to listen on ("" means 127.0.0.1:0).
+	Listen string
+	// Target is the backend address (host:port) connections forward to.
+	Target string
+	// DropRate is the per-connection probability of an immediate RST
+	// before any byte is forwarded.
+	DropRate float64
+	// ResetRate is the per-connection probability the response is cut
+	// by an RST after ResetAfterBytes bytes have flowed back.
+	ResetRate float64
+	// ResetAfterBytes bounds how much of the response escapes before a
+	// reset fate fires (0 means 64 — enough for the status line, so the
+	// client sees a truncated body, not a clean refusal).
+	ResetAfterBytes int
+	// LatencyRate is the per-connection probability of Latency being
+	// injected before forwarding begins (a slow peer).
+	LatencyRate float64
+	// Latency is the injected delay for latency fates.
+	Latency time.Duration
+}
+
+// NetProxy fates, as counted in Counts().
+const (
+	ProxyForwarded = "forwarded"
+	ProxyDropped   = "dropped"
+	ProxyDelayed   = "delayed"
+	ProxyReset     = "reset"
+)
+
+// NetProxy is the running proxy; create with NewNetProxy, then Start.
+type NetProxy struct {
+	cfg NetProxyConfig
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	ln          net.Listener
+	addr        string
+	partitioned bool
+	closed      bool
+	counts      map[string]int64
+	wg          sync.WaitGroup
+}
+
+// NewNetProxy builds a proxy for the config; Start begins listening.
+func NewNetProxy(cfg NetProxyConfig) *NetProxy {
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.ResetAfterBytes <= 0 {
+		cfg.ResetAfterBytes = 64
+	}
+	return &NetProxy{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		counts: map[string]int64{},
+	}
+}
+
+// Start listens and begins accepting. Returns the proxy's dialable
+// address (resolved port when Listen was :0).
+func (p *NetProxy) Start() (string, error) {
+	ln, err := net.Listen("tcp", p.cfg.Listen)
+	if err != nil {
+		return "", fmt.Errorf("netproxy: %w", err)
+	}
+	p.mu.Lock()
+	p.ln = ln
+	p.addr = ln.Addr().String()
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	return p.addr, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *NetProxy) Addr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.addr
+}
+
+// Partition closes (true) or reopens (false) the listening socket.
+// While partitioned, dials to the proxy's address are refused by the
+// OS — indistinguishable from the process being gone.
+func (p *NetProxy) Partition(on bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("netproxy: closed")
+	}
+	if on == p.partitioned {
+		return nil
+	}
+	if on {
+		p.partitioned = true
+		if p.ln != nil {
+			_ = p.ln.Close()
+			p.ln = nil
+		}
+		return nil
+	}
+	ln, err := net.Listen("tcp", p.addr)
+	if err != nil {
+		return fmt.Errorf("netproxy: heal partition: %w", err)
+	}
+	p.partitioned = false
+	p.ln = ln
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	return nil
+}
+
+// Close shuts the proxy down for good.
+func (p *NetProxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	if p.ln != nil {
+		_ = p.ln.Close()
+		p.ln = nil
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Counts returns a copy of the per-fate counters.
+func (p *NetProxy) Counts() map[string]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int64, len(p.counts))
+	for k, v := range p.counts {
+		out[k] = v
+	}
+	return out
+}
+
+func (p *NetProxy) count(fate string) {
+	p.mu.Lock()
+	p.counts[fate]++
+	p.mu.Unlock()
+}
+
+// fate draws one connection's fate under the lock, in accept order.
+func (p *NetProxy) fate() (drop, reset, delay bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cfg.DropRate > 0 && p.rng.Float64() < p.cfg.DropRate {
+		return true, false, false
+	}
+	if p.cfg.ResetRate > 0 && p.rng.Float64() < p.cfg.ResetRate {
+		return false, true, false
+	}
+	if p.cfg.LatencyRate > 0 && p.rng.Float64() < p.cfg.LatencyRate {
+		return false, false, true
+	}
+	return false, false, false
+}
+
+func (p *NetProxy) acceptLoop(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		drop, reset, delay := p.fate()
+		p.wg.Add(1)
+		go p.handle(conn, drop, reset, delay)
+	}
+}
+
+// rstClose closes with SO_LINGER 0, so the peer sees a hard RST rather
+// than a graceful FIN — the signature of a process dying mid-exchange.
+func rstClose(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = conn.Close()
+}
+
+func (p *NetProxy) handle(client net.Conn, drop, reset, delay bool) {
+	defer p.wg.Done()
+	if drop {
+		p.count(ProxyDropped)
+		rstClose(client)
+		return
+	}
+	if delay {
+		p.count(ProxyDelayed)
+		time.Sleep(p.cfg.Latency)
+	}
+	backend, err := net.Dial("tcp", p.cfg.Target)
+	if err != nil {
+		rstClose(client)
+		return
+	}
+	// Request side: pump client → backend until the client closes.
+	go func() {
+		_, _ = io.Copy(backend, client)
+		if tc, ok := backend.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}()
+	if reset {
+		// Forward just enough of the response for the client to have
+		// started decoding, then RST both sides.
+		_, _ = io.CopyN(client, backend, int64(p.cfg.ResetAfterBytes))
+		p.count(ProxyReset)
+		rstClose(client)
+		rstClose(backend)
+		return
+	}
+	_, _ = io.Copy(client, backend)
+	p.count(ProxyForwarded)
+	_ = client.Close()
+	_ = backend.Close()
+}

@@ -334,6 +334,23 @@ const (
 	CounterClusterReplicaDown   = "cluster_replica_transitions_down"
 	CounterClusterReplicaUp     = "cluster_replica_transitions_up"
 	CounterClusterProbeFailures = "cluster_probe_failures_total"
+
+	// Networked-transport counters, published by the cluster tier once
+	// replicas live behind real sockets. The remote_* trio classifies
+	// transport failures (connection refused, per-operation deadline
+	// exceeded, connection reset / truncated body); joins counts every
+	// /v1/join that changed membership (new replica, new URL, or a
+	// revival) and rejoins the subset that brought a previously non-up
+	// replica back — healthy heartbeats count neither; the
+	// spill_reupload pair counts batched failover re-uploads and the
+	// payload bytes they pipelined.
+	CounterClusterRemoteRefused       = "cluster_remote_conn_refused"
+	CounterClusterRemoteTimeouts      = "cluster_remote_timeouts"
+	CounterClusterRemoteResets        = "cluster_remote_resets"
+	CounterClusterJoins               = "cluster_join_total"
+	CounterClusterRejoins             = "cluster_rejoin_total"
+	CounterClusterSpillReuploadBatch  = "cluster_spill_reupload_batches"
+	CounterClusterSpillReuploadBytes  = "cluster_spill_reupload_bytes"
 )
 
 // Snapshot flattens the collector into sorted key/value pairs: every

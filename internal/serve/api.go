@@ -66,13 +66,25 @@ func (s *Server) Multiply(req apiv1.MultiplyRequest) (*apiv1.MultiplyResponse, e
 	return resp, nil
 }
 
-// StoreFromRequest serves one MatrixRequest: build-and-store a spec,
-// or re-value a stored handle. The response describes the stored
-// matrix; a missing revalue handle returns *UnknownHandleError.
+// StoreFromRequest serves one MatrixRequest: store a raw CSR payload,
+// re-value a stored handle, or build-and-store a spec (in that
+// precedence order). The response describes the stored matrix; a
+// missing revalue handle returns *UnknownHandleError.
 func (s *Server) StoreFromRequest(req apiv1.MatrixRequest) (*apiv1.MatrixResponse, error) {
 	var handle string
 	var err error
 	switch {
+	case req.Data != nil:
+		// Raw upload: the cluster's spill re-homing path. Validated
+		// before storing; the handle is content-addressed, so an upload
+		// of bytes the server already holds is a no-op dedup.
+		var m *spgemm.Matrix
+		if m, err = req.Data.Matrix(); err == nil {
+			handle, err = s.StoreMatrix(m)
+		}
+		if err != nil {
+			return nil, err
+		}
 	case req.Handle != "":
 		if handle, err = s.RevalueMatrix(req.Handle, req.ValuesSeed); err != nil {
 			return nil, err
@@ -86,13 +98,34 @@ func (s *Server) StoreFromRequest(req apiv1.MatrixRequest) (*apiv1.MatrixRespons
 			return nil, err
 		}
 	default:
-		return nil, fmt.Errorf("serve: matrix request needs spec or handle")
+		return nil, fmt.Errorf("serve: matrix request needs data, spec or handle")
 	}
 	m, _ := s.Matrix(handle)
 	return &apiv1.MatrixResponse{
 		Handle: handle, Rows: m.Rows, Cols: m.Cols, Nnz: m.Nnz(), Bytes: m.Bytes(),
 		StructureFP: fmt.Sprintf("%016x", spgemm.Fingerprint(m)),
 	}, nil
+}
+
+// StoreBulk serves one MatrixBatchRequest: every matrix stored in
+// order, all-or-nothing validated (the first bad entry fails the whole
+// batch before anything else is inspected — stores already made stick,
+// which is safe because handles are content-addressed). This is the
+// pipelined transfer behind a cluster failover re-upload: one round
+// trip instead of N.
+func (s *Server) StoreBulk(req apiv1.MatrixBatchRequest) (*apiv1.MatrixBatchResponse, error) {
+	if len(req.Matrices) == 0 {
+		return nil, fmt.Errorf("serve: bulk store needs at least one matrix")
+	}
+	out := &apiv1.MatrixBatchResponse{Matrices: make([]apiv1.MatrixResponse, 0, len(req.Matrices))}
+	for i := range req.Matrices {
+		resp, err := s.StoreFromRequest(req.Matrices[i])
+		if err != nil {
+			return nil, fmt.Errorf("serve: bulk store entry %d: %w", i, err)
+		}
+		out.Matrices = append(out.Matrices, *resp)
+	}
+	return out, nil
 }
 
 // Ready reports the server's readiness: "draining" once Drain began,

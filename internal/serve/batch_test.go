@@ -411,7 +411,9 @@ func TestHTTPMethodNotAllowed(t *testing.T) {
 		{http.MethodGet, "/v1/multiply", http.MethodPost},
 		{http.MethodGet, "/v1/batch", http.MethodPost},
 		{http.MethodPut, "/v1/matrices", http.MethodPost},
-		{http.MethodGet, "/v1/matrices/deadbeef", http.MethodDelete},
+		{http.MethodGet, "/v1/matrices/bulk", http.MethodPost},
+		{http.MethodPut, "/v1/matrices/deadbeef", "DELETE, GET"},
+		{http.MethodGet, "/v1/admin/drain", http.MethodPost},
 	}
 	for _, rt := range routes {
 		req, err := http.NewRequest(rt.method, ts.URL+rt.path, strings.NewReader("{}"))

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 
@@ -39,8 +40,11 @@ type (
 //	GET    /metricsz             — the flat metrics snapshot + cache hit rates as JSON
 //	POST   /v1/multiply          — submit a job (429 + Retry-After when shed)
 //	POST   /v1/batch             — submit a DAG of multiplies (per-node statuses)
-//	POST   /v1/matrices          — store a matrix (spec) or re-value a handle
+//	POST   /v1/matrices          — store a matrix (data, spec, or re-value a handle)
+//	POST   /v1/matrices/bulk     — store several matrices in one round trip
+//	GET    /v1/matrices/{handle} — fetch a stored matrix's raw CSR payload
 //	DELETE /v1/matrices/{handle} — drop a stored matrix (and orphaned plans)
+//	POST   /v1/admin/drain       — drain gracefully, answer the final counters
 //
 // Every route answers a wrong method with 405, an Allow header and the
 // shared error envelope; every error path emits the envelope with a
@@ -53,19 +57,38 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/multiply", guarded(http.MethodPost, s.handleMultiply))
 	mux.HandleFunc("/v1/batch", guarded(http.MethodPost, s.handleBatch))
 	mux.HandleFunc("/v1/matrices", guarded(http.MethodPost, s.handleMatrices))
-	mux.HandleFunc("/v1/matrices/", guarded(http.MethodDelete, s.handleMatrixByHandle))
+	mux.HandleFunc("/v1/matrices/bulk", guarded(http.MethodPost, s.handleMatricesBulk))
+	mux.HandleFunc("/v1/matrices/", guardedMethods(map[string]http.HandlerFunc{
+		http.MethodGet:    s.handleMatrixGet,
+		http.MethodDelete: s.handleMatrixDelete,
+	}))
+	mux.HandleFunc("/v1/admin/drain", guarded(http.MethodPost, s.handleAdminDrain))
 	return mux
 }
 
 // guarded enforces one allowed method per route: anything else is 405
 // with the Allow header and the shared envelope.
 func guarded(method string, h http.HandlerFunc) http.HandlerFunc {
+	return guardedMethods(map[string]http.HandlerFunc{method: h})
+}
+
+// guardedMethods dispatches on the request method across the allowed
+// set; anything else is 405 with a deterministic (sorted) Allow header
+// and the shared envelope.
+func guardedMethods(handlers map[string]http.HandlerFunc) http.HandlerFunc {
+	allowed := make([]string, 0, len(handlers))
+	for m := range handlers {
+		allowed = append(allowed, m)
+	}
+	sort.Strings(allowed)
+	allow := strings.Join(allowed, ", ")
 	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != method {
-			w.Header().Set("Allow", method)
+		h, ok := handlers[r.Method]
+		if !ok {
+			w.Header().Set("Allow", allow)
 			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{
 				Code:  apiv1.CodeMethodNotAllowed,
-				Error: fmt.Sprintf("method %s not allowed (use %s)", r.Method, method),
+				Error: fmt.Sprintf("method %s not allowed (use %s)", r.Method, allow),
 			})
 			return
 		}
@@ -139,14 +162,59 @@ func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleMatrixByHandle serves DELETE /v1/matrices/{handle}.
-func (s *Server) handleMatrixByHandle(w http.ResponseWriter, r *http.Request) {
+// handleMatricesBulk serves POST /v1/matrices/bulk: several stores in
+// one round trip (the cluster failover re-upload path).
+func (s *Server) handleMatricesBulk(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.MatrixBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeBadRequest(w, "bad request body: "+err.Error())
+		return
+	}
+	resp, err := s.StoreBulk(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMatrixGet serves GET /v1/matrices/{handle}: the stored CSR
+// payload, raw, so a peer can re-home the matrix byte-identically.
+func (s *Server) handleMatrixGet(w http.ResponseWriter, r *http.Request) {
+	handle := strings.TrimPrefix(r.URL.Path, "/v1/matrices/")
+	m, ok := s.Matrix(handle)
+	if !ok {
+		s.writeError(w, &UnknownHandleError{Handle: handle})
+		return
+	}
+	writeJSON(w, http.StatusOK, apiv1.MatrixDataFrom(m))
+}
+
+// handleMatrixDelete serves DELETE /v1/matrices/{handle}.
+func (s *Server) handleMatrixDelete(w http.ResponseWriter, r *http.Request) {
 	handle := strings.TrimPrefix(r.URL.Path, "/v1/matrices/")
 	if !s.DeleteMatrix(handle) {
 		s.writeError(w, &UnknownHandleError{Handle: handle})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": handle})
+}
+
+// handleAdminDrain serves POST /v1/admin/drain: stop admitting, wait
+// for in-flight work up to the requested timeout, answer the final
+// counter snapshot. The call is idempotent — draining an already
+// draining server just waits again and re-reads the counters.
+func (s *Server) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.DrainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeBadRequest(w, "bad request body: "+err.Error())
+		return
+	}
+	timeout := 30 * time.Second
+	if req.TimeoutSec > 0 {
+		timeout = time.Duration(req.TimeoutSec * float64(time.Second))
+	}
+	writeJSON(w, http.StatusOK, apiv1.DrainResponse{Counters: s.Drain(timeout)})
 }
 
 func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package apiv1
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -153,8 +154,10 @@ func (p *RetryPolicy) sleep(d time.Duration) {
 // do sends one request and decodes the response into out (skipped when
 // out is nil). Non-2xx responses become *APIError. When a retry policy
 // is configured and the call is idempotent-safe, shed responses are
-// retried with backoff honoring the Retry-After hint.
-func (c *Client) do(method, path string, in, out any, idempotent bool) error {
+// retried with backoff honoring the Retry-After hint. The context
+// bounds every attempt AND the backoff sleeps between them: a
+// cancelled context stops the retry loop immediately.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, idempotent bool) error {
 	attempts := 1
 	if c.Retry != nil && idempotent {
 		attempts = c.Retry.MaxAttempts
@@ -164,8 +167,11 @@ func (c *Client) do(method, path string, in, out any, idempotent bool) error {
 	}
 	var err error
 	for attempt := 1; ; attempt++ {
-		err = c.doOnce(method, path, in, out)
+		err = c.doOnce(ctx, method, path, in, out)
 		if err == nil || attempt >= attempts || !retriable(err) {
+			return err
+		}
+		if ctx.Err() != nil {
 			return err
 		}
 		var ae *APIError
@@ -174,8 +180,8 @@ func (c *Client) do(method, path string, in, out any, idempotent bool) error {
 	}
 }
 
-// doOnce is one request/response exchange.
-func (c *Client) doOnce(method, path string, in, out any) error {
+// doOnce is one request/response exchange under the given context.
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
 	var body *bytes.Reader
 	if in != nil {
 		data, err := json.Marshal(in)
@@ -186,7 +192,7 @@ func (c *Client) doOnce(method, path string, in, out any) error {
 	} else {
 		body = bytes.NewReader(nil)
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
@@ -216,8 +222,17 @@ func (c *Client) doOnce(method, path string, in, out any) error {
 // retried under the client's retry policy: a 429/503 means the job was
 // never admitted, so a duplicate attempt cannot double-run it.
 func (c *Client) Multiply(req MultiplyRequest) (*MultiplyResponse, error) {
+	return c.MultiplyCtx(context.Background(), req)
+}
+
+// MultiplyCtx is Multiply bounded by a caller context: the deadline
+// covers the transport, independent of the job's own DeadlineSec
+// (which budgets engine time after admission). The cluster tier uses
+// this to give health-critical calls short transport timeouts without
+// shrinking the job deadline.
+func (c *Client) MultiplyCtx(ctx context.Context, req MultiplyRequest) (*MultiplyResponse, error) {
 	var out MultiplyResponse
-	if err := c.do(http.MethodPost, "/v1/multiply", req, &out, true); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/multiply", req, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -228,20 +243,52 @@ func (c *Client) Multiply(req MultiplyRequest) (*MultiplyResponse, error) {
 // node statuses. Shed responses (the whole DAG rejected before
 // admission) are retried under the client's retry policy.
 func (c *Client) Batch(req BatchRequest) (*BatchResponse, error) {
+	return c.BatchCtx(context.Background(), req)
+}
+
+// BatchCtx is Batch bounded by a caller context.
+func (c *Client) BatchCtx(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
 	var out BatchResponse
-	if err := c.do(http.MethodPost, "/v1/batch", req, &out, true); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", req, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// StoreMatrix uploads a spec (or re-values a handle) via POST
+// StoreMatrix uploads a spec, raw data, or a re-value request via POST
 // /v1/matrices and returns the stored matrix description. Never
 // retried: a store mutation whose response was lost may still have
 // taken effect.
 func (c *Client) StoreMatrix(req MatrixRequest) (*MatrixResponse, error) {
+	return c.StoreMatrixCtx(context.Background(), req)
+}
+
+// StoreMatrixCtx is StoreMatrix bounded by a caller context.
+func (c *Client) StoreMatrixCtx(ctx context.Context, req MatrixRequest) (*MatrixResponse, error) {
 	var out MatrixResponse
-	if err := c.do(http.MethodPost, "/v1/matrices", req, &out, false); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/matrices", req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// StoreMatrixBulk uploads several matrices in one POST
+// /v1/matrices/bulk round trip — the pipelined transfer the cluster
+// coordinator uses to re-home spill copies during failover. Never
+// retried (store mutation).
+func (c *Client) StoreMatrixBulk(ctx context.Context, req MatrixBatchRequest) (*MatrixBatchResponse, error) {
+	var out MatrixBatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/matrices/bulk", req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FetchMatrix downloads a stored matrix's raw CSR payload via GET
+// /v1/matrices/{handle}.
+func (c *Client) FetchMatrix(ctx context.Context, handle string) (*MatrixData, error) {
+	var out MatrixData
+	if err := c.do(ctx, http.MethodGet, "/v1/matrices/"+handle, nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -250,15 +297,54 @@ func (c *Client) StoreMatrix(req MatrixRequest) (*MatrixResponse, error) {
 // DeleteMatrix drops a stored handle via DELETE /v1/matrices/{handle}.
 // Never retried (store mutation).
 func (c *Client) DeleteMatrix(handle string) error {
-	return c.do(http.MethodDelete, "/v1/matrices/"+handle, nil, nil, false)
+	return c.DeleteMatrixCtx(context.Background(), handle)
+}
+
+// DeleteMatrixCtx is DeleteMatrix bounded by a caller context.
+func (c *Client) DeleteMatrixCtx(ctx context.Context, handle string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/matrices/"+handle, nil, nil, false)
+}
+
+// Join registers (or heartbeats) a replica with a cluster coordinator
+// via POST /v1/join. The client must point at the coordinator.
+func (c *Client) Join(ctx context.Context, req JoinRequest) (*JoinResponse, error) {
+	var out JoinResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/join", req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Drain asks the server to drain gracefully via POST /v1/admin/drain
+// and returns its final counter snapshot. The call blocks until the
+// drain completes, so the context should allow for the drain deadline.
+func (c *Client) Drain(ctx context.Context, req DrainRequest) (*DrainResponse, error) {
+	var out DrainResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/admin/drain", req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Metrics fetches the flat /metricsz snapshot. Integer counters and
 // float hit rates share the map; truncate where ints are asserted.
 func (c *Client) Metrics() (map[string]float64, error) {
-	out := map[string]float64{}
-	if err := c.do(http.MethodGet, "/metricsz", nil, &out, true); err != nil {
+	return c.MetricsCtx(context.Background())
+}
+
+// MetricsCtx is Metrics bounded by a caller context. Non-numeric
+// values (the cluster endpoint annotates the body with its replica
+// health map) are skipped: the method's contract is the counters.
+func (c *Client) MetricsCtx(ctx context.Context) (map[string]float64, error) {
+	raw := map[string]any{}
+	if err := c.do(ctx, http.MethodGet, "/metricsz", nil, &raw, true); err != nil {
 		return nil, err
+	}
+	out := make(map[string]float64, len(raw))
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
 	}
 	return out, nil
 }
@@ -268,9 +354,16 @@ func (c *Client) Metrics() (map[string]float64, error) {
 // *APIError in that case — callers who only care about the status
 // string can ignore err when out.Status is set.
 func (c *Client) Ready() (*ReadyResponse, error) {
+	return c.ReadyCtx(context.Background())
+}
+
+// ReadyCtx is Ready bounded by a caller context — the cluster prober
+// gives it a timeout much shorter than a multiply's, so a hung replica
+// is detected in probe time, not job time.
+func (c *Client) ReadyCtx(ctx context.Context) (*ReadyResponse, error) {
 	var out ReadyResponse
 	// Bypass retry: readiness polls want the immediate answer.
-	err := c.doOnce(http.MethodGet, "/readyz", nil, &out)
+	err := c.doOnce(ctx, http.MethodGet, "/readyz", nil, &out)
 	if err != nil {
 		var ae *APIError
 		if errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable {
@@ -289,7 +382,9 @@ func (c *Client) Ready() (*ReadyResponse, error) {
 func (c *Client) WaitHealthy(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		err := c.do(http.MethodGet, "/healthz", nil, nil, false)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, false)
+		cancel()
 		if err == nil {
 			return nil
 		}

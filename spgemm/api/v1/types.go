@@ -128,14 +128,71 @@ type MultiplyRequest struct {
 	NumGPUs     int         `json:"num_gpus,omitempty"`
 }
 
-// MatrixRequest is the POST /v1/matrices body: either a spec to build
-// and store, or a stored handle plus a values seed to re-value (same
-// pattern, fresh deterministic values — the iterative-workload upload
-// that keeps cached plans warm).
+// MatrixData is a raw CSR payload on the wire: the three arrays of the
+// internal representation, verbatim. It exists for the cluster tier —
+// a coordinator re-uploading its spill copy of a stored matrix to a
+// failover successor ships the actual bytes, not a recipe — but any
+// client may use it to upload real data instead of a generator spec.
+// encoding/json round-trips float64 exactly, so an upload and its
+// re-download are byte-identical (content-addressed handles depend on
+// this).
+type MatrixData struct {
+	Rows       int       `json:"rows"`
+	Cols       int       `json:"cols"`
+	RowOffsets []int64   `json:"row_offsets"`
+	ColIDs     []int32   `json:"col_ids"`
+	Values     []float64 `json:"values"`
+}
+
+// MatrixDataFrom converts a matrix into its wire payload. The slices
+// alias the matrix storage — marshal before mutating.
+func MatrixDataFrom(m *spgemm.Matrix) *MatrixData {
+	return &MatrixData{
+		Rows: m.Rows, Cols: m.Cols,
+		RowOffsets: m.RowOffsets, ColIDs: m.ColIDs, Values: m.Data,
+	}
+}
+
+// Matrix validates the payload and returns it as a matrix. The matrix
+// aliases the payload slices.
+func (d *MatrixData) Matrix() (*spgemm.Matrix, error) {
+	m := &spgemm.Matrix{
+		Rows: d.Rows, Cols: d.Cols,
+		RowOffsets: d.RowOffsets, ColIDs: d.ColIDs, Data: d.Values,
+	}
+	if m.RowOffsets == nil {
+		m.RowOffsets = make([]int64, d.Rows+1)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("apiv1: matrix data rejected: %w", err)
+	}
+	return m, nil
+}
+
+// MatrixRequest is the POST /v1/matrices body: a spec to build and
+// store, raw CSR data to store verbatim, or a stored handle plus a
+// values seed to re-value (same pattern, fresh deterministic values —
+// the iterative-workload upload that keeps cached plans warm). Data
+// wins over Handle wins over Spec.
 type MatrixRequest struct {
 	Spec       *MatrixSpec `json:"spec,omitempty"`
 	Handle     string      `json:"handle,omitempty"`
 	ValuesSeed int64       `json:"values_seed,omitempty"`
+	Data       *MatrixData `json:"data,omitempty"`
+}
+
+// MatrixBatchRequest is the POST /v1/matrices/bulk body: several
+// uploads admitted as one pipelined transfer. The cluster coordinator
+// uses it to re-home every spill copy a failover successor is missing
+// in a single round trip instead of N serial ones.
+type MatrixBatchRequest struct {
+	Matrices []MatrixRequest `json:"matrices"`
+}
+
+// MatrixBatchResponse answers a bulk upload, one response per request
+// in order. The whole batch either stores or fails as a unit.
+type MatrixBatchResponse struct {
+	Matrices []MatrixResponse `json:"matrices"`
 }
 
 // MatrixResponse describes a stored matrix. StructureFP is the
@@ -201,6 +258,41 @@ const (
 	// on /readyz; in-flight work is finishing).
 	ReadyStatusDraining = "draining"
 )
+
+// JoinRequest is the POST /v1/join body a serve replica sends to a
+// cluster coordinator to register itself (and thereafter as a
+// heartbeat): the replica's stable name and the base URL the
+// coordinator should dial it on. Re-joining an existing name is how a
+// restarted replica re-enters the ring — the coordinator voids its
+// placement records (the restart lost the store) and revives it.
+type JoinRequest struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// JoinResponse acknowledges a registration. Rejoined reports that the
+// coordinator already knew the name and treated the join as a
+// recovery (replica restart or partition heal) rather than a first
+// registration or a routine heartbeat. HeartbeatSec is the cadence the
+// coordinator wants subsequent heartbeat joins at.
+type JoinResponse struct {
+	Name         string  `json:"name"`
+	Rejoined     bool    `json:"rejoined"`
+	Replicas     int     `json:"replicas"`
+	HeartbeatSec float64 `json:"heartbeat_sec"`
+}
+
+// DrainRequest is the POST /v1/admin/drain body: the graceful-drain
+// deadline. Zero means the server's configured default.
+type DrainRequest struct {
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// DrainResponse reports a completed drain: the final counter snapshot
+// the process would have written to its snapshot file.
+type DrainResponse struct {
+	Counters map[string]int64 `json:"counters"`
+}
 
 // ErrorResponse is the uniform error envelope of every /v1 endpoint
 // (and of per-node failures inside a batch response): a

@@ -26,7 +26,14 @@ func TestWireFieldStability(t *testing.T) {
 		{"MultiplyResponse", MultiplyResponse{}, []string{
 			"requested", "engine", "degraded", "rows", "cols", "nnz_c", "flops", "seconds", "gflops", "c_handle",
 		}},
-		{"MatrixRequest", MatrixRequest{}, []string{"spec", "handle", "values_seed"}},
+		{"MatrixRequest", MatrixRequest{}, []string{"spec", "handle", "values_seed", "data"}},
+		{"MatrixData", MatrixData{}, []string{"rows", "cols", "row_offsets", "col_ids", "values"}},
+		{"MatrixBatchRequest", MatrixBatchRequest{}, []string{"matrices"}},
+		{"MatrixBatchResponse", MatrixBatchResponse{}, []string{"matrices"}},
+		{"JoinRequest", JoinRequest{}, []string{"name", "url"}},
+		{"JoinResponse", JoinResponse{}, []string{"name", "rejoined", "replicas", "heartbeat_sec"}},
+		{"DrainRequest", DrainRequest{}, []string{"timeout_sec"}},
+		{"DrainResponse", DrainResponse{}, []string{"counters"}},
 		{"MatrixResponse", MatrixResponse{}, []string{
 			"handle", "rows", "cols", "nnz", "bytes", "structure_fingerprint",
 		}},
@@ -107,6 +114,41 @@ func TestOmitEmptyKeepsRequestsSmall(t *testing.T) {
 	}
 	if got, want := string(data), `{"id":"s1","a":{"handle":"h"}}`; got != want {
 		t.Fatalf("minimal node = %s, want %s", got, want)
+	}
+}
+
+// TestMatrixDataRoundTrip: a raw upload survives the JSON wire
+// byte-identically — the content-addressed handles of the cluster's
+// spill re-uploads depend on float64 values round-tripping exactly.
+func TestMatrixDataRoundTrip(t *testing.T) {
+	m, err := MatrixSpec{Kind: "er", Rows: 48, Cols: 48, Density: 0.1, Seed: 9}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(MatrixDataFrom(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d MatrixData
+	if err := json.Unmarshal(buf, &d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != m.Rows || got.Cols != m.Cols || got.Nnz() != m.Nnz() {
+		t.Fatalf("shape changed: %dx%d nnz %d", got.Rows, got.Cols, got.Nnz())
+	}
+	for i := range m.Data {
+		if m.Data[i] != got.Data[i] || m.ColIDs[i] != got.ColIDs[i] {
+			t.Fatalf("entry %d changed across the wire", i)
+		}
+	}
+	// A corrupt payload is rejected, not stored.
+	d.RowOffsets[len(d.RowOffsets)-1]++
+	if _, err := d.Matrix(); err == nil {
+		t.Fatal("corrupt matrix data was accepted")
 	}
 }
 
