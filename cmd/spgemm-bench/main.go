@@ -21,6 +21,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -34,7 +36,40 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 	engFlag := flag.String("engine", "", "benchmark one registered engine ("+strings.Join(spgemm.Engines(), ", ")+") and write BENCH_<name>.json")
 	traceFlag := flag.String("trace", "", "with -engine: write the run's Chrome trace-event JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the selected experiments) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		// The experiment paths exit through fail() on error, so the
+		// profile is flushed there too (see fail).
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spgemm-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "spgemm-bench:", err)
+			}
+		}()
+	}
 
 	if *engFlag != "" {
 		if err := runEngineBench(*engFlag, *traceFlag, *csvDir); err != nil {
@@ -306,7 +341,14 @@ func writeCSV(dir, name string, t *exp.Table) error {
 	return f.Close()
 }
 
+// stopProfile flushes the CPU profile; set only when -cpuprofile is
+// given. fail calls it because os.Exit skips deferred calls.
+var stopProfile func()
+
 func fail(err error) {
+	if stopProfile != nil {
+		stopProfile()
+	}
 	fmt.Fprintln(os.Stderr, "spgemm-bench:", err)
 	os.Exit(1)
 }

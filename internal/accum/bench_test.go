@@ -1,0 +1,97 @@
+package accum
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Accumulator micro-benchmarks across the row-size bands the adaptive
+// exact path bins on (speck.PickClass): tiny rows (list band), medium
+// sparse rows (hash band), and dense rows (bitmap band), plus a
+// clustered pattern where the compressed-segment accumulator's
+// one-probe-per-segment layout pays. Run with
+//
+//	go test ./internal/accum -bench Accum -benchtime 100x
+//
+// to compare classes within a band; the adaptive path's class
+// thresholds were sanity-checked against these numbers.
+
+// band describes one workload: n adds over distinct columns drawn from
+// [0, width) with the given clustering (columns per 64-wide segment).
+type band struct {
+	name      string
+	width     int
+	distinct  int
+	revisits  int // extra adds per distinct column (numeric accumulation)
+	clustered bool
+}
+
+var bands = []band{
+	{name: "tiny", width: 1 << 12, distinct: 12, revisits: 1},
+	{name: "medium", width: 1 << 14, distinct: 256, revisits: 3},
+	{name: "large", width: 1 << 16, distinct: 4096, revisits: 3},
+	{name: "dense", width: 1 << 12, distinct: 2048, revisits: 7},
+	{name: "clustered", width: 1 << 16, distinct: 4096, revisits: 3, clustered: true},
+}
+
+// pattern materializes a band's add sequence once, outside the timer.
+func (b band) pattern() []int32 {
+	rng := rand.New(rand.NewSource(97))
+	cols := make([]int32, 0, b.distinct)
+	seen := map[int32]bool{}
+	for len(cols) < b.distinct {
+		var c int32
+		if b.clustered {
+			// ~16 columns per segment: high csr.Segments compression.
+			seg := int32(rng.Intn(b.width / 64 / 16))
+			c = seg*64 + int32(rng.Intn(64))
+		} else {
+			c = int32(rng.Intn(b.width))
+		}
+		if !seen[c] {
+			seen[c] = true
+			cols = append(cols, c)
+		}
+	}
+	adds := make([]int32, 0, b.distinct*(1+b.revisits))
+	for r := 0; r <= b.revisits; r++ {
+		adds = append(adds, cols...)
+	}
+	return adds
+}
+
+func benchAccum(b *testing.B, acc Accumulator, adds []int32) {
+	cols := make([]int32, 0, len(adds))
+	vals := make([]float64, 0, len(adds))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range adds {
+			acc.Add(c, 1.0)
+		}
+		cols, vals = acc.Flush(cols[:0], vals[:0])
+	}
+	_ = cols
+	_ = vals
+}
+
+func BenchmarkAccum(b *testing.B) {
+	for _, bd := range bands {
+		adds := bd.pattern()
+		b.Run(fmt.Sprintf("%s/list", bd.name), func(b *testing.B) {
+			if bd.distinct > 64 {
+				b.Skip("list class only serves tiny rows")
+			}
+			benchAccum(b, NewList(bd.distinct), adds)
+		})
+		b.Run(fmt.Sprintf("%s/hash", bd.name), func(b *testing.B) {
+			benchAccum(b, NewHash(bd.distinct), adds)
+		})
+		b.Run(fmt.Sprintf("%s/bitmap", bd.name), func(b *testing.B) {
+			benchAccum(b, NewBitmap(bd.width), adds)
+		})
+		b.Run(fmt.Sprintf("%s/cseg", bd.name), func(b *testing.B) {
+			benchAccum(b, NewCSeg(bd.distinct/8+2), adds)
+		})
+	}
+}

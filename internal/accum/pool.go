@@ -24,6 +24,7 @@ var (
 	sortPool  = sync.Pool{New: func() any { poolNews.Add(1); return NewSort(16) }}
 	listPool  = sync.Pool{New: func() any { poolNews.Add(1); return NewList(16) }}
 	bmapPool  = sync.Pool{New: func() any { poolNews.Add(1); return NewBitmap(0) }}
+	csegPool  = sync.Pool{New: func() any { poolNews.Add(1); return NewCSeg(16) }}
 
 	// poolGets counts Get* calls and poolNews the pool misses that fell
 	// through to a fresh allocation, so the observability layer can
@@ -115,6 +116,21 @@ func PutBitmap(b *Bitmap) {
 	bmapPool.Put(b)
 }
 
+// GetCSeg returns an empty pooled compressed-segment accumulator able
+// to hold at least capacity distinct segments before growing.
+func GetCSeg(capacity int) *CSeg {
+	poolGets.Add(1)
+	c := csegPool.Get().(*CSeg)
+	c.Grow(capacity)
+	return c
+}
+
+// PutCSeg resets c and returns it to the pool.
+func PutCSeg(c *CSeg) {
+	c.Reset()
+	csegPool.Put(c)
+}
+
 // Put returns any accumulator obtained from a Get function to its
 // pool. Unknown implementations are dropped.
 func Put(a Accumulator) {
@@ -129,6 +145,8 @@ func Put(a Accumulator) {
 		PutList(acc)
 	case *Bitmap:
 		PutBitmap(acc)
+	case *CSeg:
+		PutCSeg(acc)
 	}
 }
 

@@ -110,6 +110,20 @@ type Options struct {
 	// Estimator tunes the estimation path; the zero value uses the
 	// defaults (see speck.EstimatorConfig).
 	Estimator speck.EstimatorConfig
+	// ClassStats, when non-nil, accumulates the adaptive exact path's
+	// per-kernel-class row/flop/nnz shares and per-phase times. The
+	// per-row clock reads cost a few percent, so attach it only to
+	// instrumented runs, never timed repetitions.
+	ClassStats *ClassStats
+	// ChunkLog, when non-nil, records each dynamically claimed chunk's
+	// wall duration per exact phase (see ChunkLog for the scheduled-
+	// speedup replay the CPU benchmark builds from it).
+	ChunkLog *ChunkLog
+	// ChunkWorkers, when positive, overrides the worker count used to
+	// cut chunk boundaries without changing how many goroutines run.
+	// The CPU benchmark sets Threads=1 with ChunkWorkers=N to measure
+	// the true per-chunk durations of an N-worker chunking serially.
+	ChunkWorkers int
 }
 
 // canceled polls the cancellation hook.
@@ -187,8 +201,13 @@ func (o Options) useEstimation(rowFlops []int64) bool {
 
 // multiplyExact is the two-phase exact pipeline behind Multiply.
 // rowFlops, when non-nil, is the precomputed row analysis (the mode
-// dispatcher already paid for it).
+// dispatcher already paid for it). The Hash method runs the adaptive
+// per-row kernel pipeline (adaptive.go); Dense and ESC keep the
+// uniform single-accumulator loop their methods pin by definition.
 func multiplyExact(a, b *csr.Matrix, opts Options, rowFlops []int64) (*csr.Matrix, error) {
+	if opts.Method == Hash {
+		return multiplyAdaptive(a, b, opts, rowFlops)
+	}
 	nt := opts.threads()
 
 	// Row analysis, computed once for both phases: rowFlops[i]/2 is

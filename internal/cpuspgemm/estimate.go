@@ -65,13 +65,19 @@ func estimatedMultiply(a, b *csr.Matrix, opts Options, rowFlops []int64) (*csr.M
 	stats.EstimatedRows, stats.FallbackRows = est.EstimatedRows, est.FallbackRows
 
 	var werr firstErr
+	// One accumulator set per worker, reused across every chunk the
+	// worker claims in both the fallback and numeric loops — per-chunk
+	// pool round-trips were part of what kept the dynamic scheduler
+	// from beating the static split (see parallel.ForChunksW).
+	kits := make([]workerKit, parallel.Workers(nt))
+	defer releaseKits(kits)
 
 	// Exact symbolic counting, but only for the rows the confidence
 	// gate rejected — the elision's whole point is that this loop
 	// usually touches almost nothing.
 	if est.FallbackRows > 0 {
 		stopFallback := opts.Metrics.StartWall("cpu", "symbolic (fallback)")
-		parallel.ForChunks(nt, bounds, func(lo, hi int) {
+		parallel.ForChunksW(nt, bounds, func(w, lo, hi int) {
 			if werr.get() != nil {
 				return
 			}
@@ -79,12 +85,11 @@ func estimatedMultiply(a, b *csr.Matrix, opts Options, rowFlops []int64) (*csr.M
 				werr.set(ErrCanceled)
 				return
 			}
-			acc := accum.GetHash(16)
-			defer accum.PutHash(acc)
 			for i := lo; i < hi; i++ {
 				if !est.Fallback[i] {
 					continue
 				}
+				acc := kits[w].get(kindHash, ub[i], b.Cols)
 				ac, _ := a.Row(i)
 				for _, k := range ac {
 					bc, _ := b.Row(int(k))
@@ -119,9 +124,13 @@ func estimatedMultiply(a, b *csr.Matrix, opts Options, rowFlops []int64) (*csr.M
 	ovVals := map[int][]float64{}
 	var overflow int64
 
+	// Per-worker spill scratch, reused across chunks like the kits.
+	spillC := make([][]int32, len(kits))
+	spillV := make([][]float64, len(kits))
+
 	width := int64(b.Cols)
 	stopNumeric := opts.Metrics.StartWall("cpu", "numeric (estimated)")
-	parallel.ForChunks(nt, bounds, func(lo, hi int) {
+	parallel.ForChunksW(nt, bounds, func(w, lo, hi int) {
 		if werr.get() != nil {
 			return
 		}
@@ -129,24 +138,7 @@ func estimatedMultiply(a, b *csr.Matrix, opts Options, rowFlops []int64) (*csr.M
 			werr.set(ErrCanceled)
 			return
 		}
-		// One pooled accumulator per class per chunk, acquired lazily —
-		// a chunk of uniformly tiny rows never touches the bitmap pool.
-		var hash *accum.Hash
-		var dense *accum.Bitmap
-		var list *accum.List
-		defer func() {
-			if hash != nil {
-				accum.PutHash(hash)
-			}
-			if dense != nil {
-				accum.PutBitmap(dense)
-			}
-			if list != nil {
-				accum.PutList(list)
-			}
-		}()
-		var spillCols []int32
-		var spillVals []float64
+		kit := &kits[w]
 		for i := lo; i < hi; i++ {
 			if ub[i] == 0 {
 				continue
@@ -158,25 +150,11 @@ func estimatedMultiply(a, b *csr.Matrix, opts Options, rowFlops []int64) (*csr.M
 			var acc accum.Accumulator
 			switch speck.PickClass(rowFlops[i], estN, width) {
 			case speck.ListClass:
-				if list == nil {
-					list = accum.GetList(speck.ListClassMax)
-				}
-				acc = list
+				acc = kit.get(kindList, estN, b.Cols)
 			case speck.DenseClass:
-				if dense == nil {
-					dense = accum.GetBitmap(b.Cols)
-				}
-				acc = dense
+				acc = kit.get(kindDense, estN, b.Cols)
 			default:
-				if hash == nil {
-					hash = accum.GetHash(16)
-				}
-				capi := est.Caps[i]
-				if capi > width {
-					capi = width
-				}
-				hash.Grow(int(capi))
-				acc = hash
+				acc = kit.get(kindHash, est.Caps[i], b.Cols)
 			}
 			ac, av := a.Row(i)
 			for p := range ac {
@@ -191,9 +169,9 @@ func estimatedMultiply(a, b *csr.Matrix, opts Options, rowFlops []int64) (*csr.M
 				off := capOffsets[i]
 				acc.Flush(bigCols[off:off:off+n], bigVals[off:off:off+n])
 			} else {
-				spillCols, spillVals = acc.Flush(spillCols[:0], spillVals[:0])
-				cc := append([]int32(nil), spillCols...)
-				vv := append([]float64(nil), spillVals...)
+				spillC[w], spillV[w] = acc.Flush(spillC[w][:0], spillV[w][:0])
+				cc := append([]int32(nil), spillC[w]...)
+				vv := append([]float64(nil), spillV[w]...)
 				ovMu.Lock()
 				ovCols[i] = cc
 				ovVals[i] = vv

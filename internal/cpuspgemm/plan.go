@@ -139,8 +139,19 @@ func Numeric(sym *SymbolicResult, a, b *csr.Matrix, opts Options) (*csr.Matrix, 
 	bounds := parallel.CostBounds(sym.RowFlops, nt)
 	var werr firstErr
 
+	// One scratch per worker, fetched on the worker's first chunk and
+	// reused across all chunks it claims (not one pool round-trip per
+	// chunk — see parallel.ForChunksW).
+	scratch := make([]*denseScratch, parallel.Workers(nt))
+	defer func() {
+		for _, s := range scratch {
+			if s != nil {
+				scratchPool.Put(s)
+			}
+		}
+	}()
 	stopNumeric := opts.Metrics.StartWall("cpu", "numeric (warm)")
-	parallel.ForChunks(nt, bounds, func(lo, hi int) {
+	parallel.ForChunksW(nt, bounds, func(w, lo, hi int) {
 		if werr.get() != nil {
 			return
 		}
@@ -148,8 +159,10 @@ func Numeric(sym *SymbolicResult, a, b *csr.Matrix, opts Options) (*csr.Matrix, 
 			werr.set(ErrCanceled)
 			return
 		}
-		s := getScratch(sym.Cols)
-		defer scratchPool.Put(s)
+		if scratch[w] == nil {
+			scratch[w] = getScratch(sym.Cols)
+		}
+		s := scratch[w]
 		for i := lo; i < hi; i++ {
 			off, end := sym.RowOffsets[i], sym.RowOffsets[i+1]
 			if off == end {

@@ -1,0 +1,74 @@
+package csr
+
+// Segment compression of a matrix's sparsity pattern, in the style of
+// CSeg's two-level column representation: each row's column ids are
+// grouped into 64-wide segments, and every segment is stored once as a
+// (segment id, occupancy mask) pair. A row whose columns cluster —
+// banded matrices, block structure, any locality at all — compresses
+// by up to 64x, and a Gustavson symbolic phase that consumes the
+// compressed rows does one word-OR per segment instead of one
+// hash/bitmap update per column. Rows with no clustering degrade to
+// one pair per column (ratio 1), which is why consumers check Ratio
+// before preferring the compressed walk.
+type Segments struct {
+	// RowPtr indexes SegIDs/Masks per row, CSR-style:
+	// row r's segments are [RowPtr[r], RowPtr[r+1]).
+	RowPtr []int64
+	// SegIDs is the segment id (column id >> 6) of each entry, ascending
+	// within a row (inherited from the CSR column order).
+	SegIDs []int32
+	// Masks holds the 64-column occupancy mask of each segment.
+	Masks []uint64
+	// Nnz is the number of non-zeros the compression covers.
+	Nnz int64
+}
+
+// Compress builds the segment representation of m's pattern in one
+// O(nnz) pass. Column ids within each CSR row are ascending, so equal
+// segments are adjacent and the pass needs no hashing.
+func Compress(m *Matrix) *Segments {
+	s := &Segments{
+		RowPtr: make([]int64, m.Rows+1),
+		Nnz:    int64(len(m.ColIDs)),
+	}
+	// Worst case one segment per non-zero; the append below only ever
+	// shrinks that.
+	s.SegIDs = make([]int32, 0, len(m.ColIDs))
+	s.Masks = make([]uint64, 0, len(m.ColIDs))
+	for r := 0; r < m.Rows; r++ {
+		cur := int32(-1)
+		for p := m.RowOffsets[r]; p < m.RowOffsets[r+1]; p++ {
+			col := m.ColIDs[p]
+			seg := col >> 6
+			if seg != cur {
+				s.SegIDs = append(s.SegIDs, seg)
+				s.Masks = append(s.Masks, 0)
+				cur = seg
+			}
+			s.Masks[len(s.Masks)-1] |= 1 << uint(col&63)
+		}
+		s.RowPtr[r+1] = int64(len(s.SegIDs))
+	}
+	return s
+}
+
+// Row returns row r's segment ids and masks.
+func (s *Segments) Row(r int) ([]int32, []uint64) {
+	lo, hi := s.RowPtr[r], s.RowPtr[r+1]
+	return s.SegIDs[lo:hi], s.Masks[lo:hi]
+}
+
+// Ratio reports the compression ratio nnz / segments — 1 means no
+// clustering at all (every segment holds a single column), 64 is the
+// maximum (every segment full). Empty matrices report 1.
+func (s *Segments) Ratio() float64 {
+	if len(s.SegIDs) == 0 {
+		return 1
+	}
+	return float64(s.Nnz) / float64(len(s.SegIDs))
+}
+
+// Bytes reports the memory the representation retains.
+func (s *Segments) Bytes() int64 {
+	return int64(len(s.RowPtr))*8 + int64(len(s.SegIDs))*4 + int64(len(s.Masks))*8
+}

@@ -1,0 +1,97 @@
+package csr
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// segMatrix builds a small CSR matrix from explicit rows of column ids.
+func segMatrix(t *testing.T, cols int, rows [][]int32) *Matrix {
+	t.Helper()
+	m := &Matrix{Rows: len(rows), Cols: cols, RowOffsets: make([]int64, len(rows)+1)}
+	for r, rc := range rows {
+		for _, c := range rc {
+			m.ColIDs = append(m.ColIDs, c)
+			m.Data = append(m.Data, 1)
+		}
+		m.RowOffsets[r+1] = int64(len(m.ColIDs))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	m := segMatrix(t, 300, [][]int32{
+		{0, 1, 2, 63, 64, 65, 200},
+		{},
+		{128},
+		{5, 70, 135, 299},
+	})
+	s := Compress(m)
+	if s.Nnz != int64(len(m.ColIDs)) {
+		t.Fatalf("Nnz = %d, want %d", s.Nnz, len(m.ColIDs))
+	}
+	// Expanding every (segment, mask) pair must reproduce each row's
+	// exact column set, in order.
+	for r := 0; r < m.Rows; r++ {
+		var expanded []int32
+		sids, masks := s.Row(r)
+		for i, sid := range sids {
+			word := masks[i]
+			for word != 0 {
+				expanded = append(expanded, sid*64+int32(bits.TrailingZeros64(word)))
+				word &= word - 1
+			}
+			if i > 0 && sid <= sids[i-1] {
+				t.Fatalf("row %d: segment ids not ascending: %v", r, sids)
+			}
+		}
+		lo, hi := m.RowOffsets[r], m.RowOffsets[r+1]
+		want := m.ColIDs[lo:hi]
+		if len(expanded) != len(want) {
+			t.Fatalf("row %d: expanded %v, want %v", r, expanded, want)
+		}
+		for i := range want {
+			if expanded[i] != want[i] {
+				t.Fatalf("row %d: expanded %v, want %v", r, expanded, want)
+			}
+		}
+	}
+}
+
+func TestCompressAdjacentMerge(t *testing.T) {
+	// 6 columns in one segment plus 1 in another: 2 segments total.
+	m := segMatrix(t, 200, [][]int32{{10, 11, 12, 13, 14, 15, 100}})
+	s := Compress(m)
+	if got := len(s.SegIDs); got != 2 {
+		t.Fatalf("segments = %d, want 2", got)
+	}
+	if want := 7.0 / 2.0; s.Ratio() != want {
+		t.Fatalf("Ratio = %v, want %v", s.Ratio(), want)
+	}
+}
+
+func TestCompressNoClustering(t *testing.T) {
+	// One column per segment: ratio exactly 1.
+	m := segMatrix(t, 64*8, [][]int32{{0, 64, 128, 192, 256}})
+	s := Compress(m)
+	if s.Ratio() != 1 {
+		t.Fatalf("Ratio = %v, want 1", s.Ratio())
+	}
+}
+
+func TestCompressEmpty(t *testing.T) {
+	m := segMatrix(t, 10, [][]int32{{}, {}})
+	s := Compress(m)
+	if s.Ratio() != 1 {
+		t.Fatalf("empty Ratio = %v, want 1", s.Ratio())
+	}
+	if sids, _ := s.Row(1); len(sids) != 0 {
+		t.Fatalf("empty row has segments: %v", sids)
+	}
+	if s.Bytes() <= 0 {
+		t.Fatalf("Bytes = %d", s.Bytes())
+	}
+}

@@ -29,6 +29,19 @@ import (
 // rebalancing at the price of more claim operations; 8 keeps the claim
 // overhead (one atomic add per chunk) far below the per-chunk work for
 // any realistic grain.
+//
+// Granularity heuristic, recorded for the dynamic-vs-static regression
+// test (TestDynamicNeverLosesToStatic): with chunks ≈ workers ×
+// oversample, a perfectly balanced input costs the dynamic scheduler
+// only the oversample−1 extra claim operations per worker over a
+// static split — nanoseconds against millisecond chunks — while a
+// skewed input lets the last-finishing worker trail the rest by at
+// most one chunk ≈ 1/(workers·oversample) of the total work instead of
+// a whole static range. The regression the test guards against was
+// never the claim cost: it was per-chunk accumulator churn (each chunk
+// re-fetching and re-growing pooled accumulators sized to its own
+// worst-case row). ForChunksW exists so workloads hoist that state to
+// one set per *worker*, making per-chunk overhead claim-only.
 const oversample = 8
 
 // prefixSeqCutoff is the input size below which PrefixSum runs
@@ -104,6 +117,17 @@ func For(workers, n, grain int, fn func(lo, hi int)) {
 // Empty ranges are skipped. Use CostBounds to derive bounds from a
 // per-item cost array.
 func ForChunks(workers int, bounds []int, fn func(lo, hi int)) {
+	ForChunksW(workers, bounds, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForChunksW is ForChunks with the claiming worker's index passed to
+// fn (w in [0, workers)). A given w is never active on two chunks at
+// once, so callers can keep per-worker state — pooled accumulators,
+// scratch arrays — fetched once per phase instead of once per chunk.
+// That per-chunk re-fetch (and the re-Grow churn it caused) is what
+// made the dynamic scheduler measurably lose to the static ablation on
+// balanced inputs before this existed.
+func ForChunksW(workers int, bounds []int, fn func(w, lo, hi int)) {
 	chunks := len(bounds) - 1
 	if chunks <= 0 {
 		return
@@ -115,23 +139,58 @@ func ForChunks(workers int, bounds []int, fn func(lo, hi int)) {
 	if workers == 1 {
 		for k := 0; k < chunks; k++ {
 			if bounds[k] < bounds[k+1] {
-				fn(bounds[k], bounds[k+1])
+				fn(0, bounds[k], bounds[k+1])
 			}
 		}
 		return
 	}
 	var next int64
-	Run(workers, func(int) {
+	Run(workers, func(w int) {
 		for {
 			k := int(atomic.AddInt64(&next, 1)) - 1
 			if k >= chunks {
 				return
 			}
 			if bounds[k] < bounds[k+1] {
-				fn(bounds[k], bounds[k+1])
+				fn(w, bounds[k], bounds[k+1])
 			}
 		}
 	})
+}
+
+// ListSchedule replays measured per-chunk durations through the
+// dynamic claiming discipline with the given worker count and returns
+// the makespan: chunks are claimed in order, each by the worker that
+// frees up first — exactly what ForChunks does when every worker runs
+// at the same speed. The ratio sum(durations)/makespan is the
+// *scheduled speedup*: how much the chunking + dynamic claiming let N
+// equal workers overlap the measured work. The CPU benchmark reports
+// it next to wall-clock speedup so machines with fewer physical cores
+// than the requested thread count (where wall-clock speedup is
+// physically capped) still put the scheduler's real balance on record,
+// from real measured chunk times.
+func ListSchedule(durations []float64, workers int) float64 {
+	if workers < 1 {
+		workers = 1
+	}
+	free := make([]float64, workers)
+	for _, d := range durations {
+		// The earliest-free worker claims the next chunk.
+		mi := 0
+		for w := 1; w < workers; w++ {
+			if free[w] < free[mi] {
+				mi = w
+			}
+		}
+		free[mi] += d
+	}
+	makespan := 0.0
+	for _, f := range free {
+		if f > makespan {
+			makespan = f
+		}
+	}
+	return makespan
 }
 
 // ForCost runs fn over [0, len(cost)) in dynamically claimed chunks

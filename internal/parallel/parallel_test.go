@@ -204,3 +204,91 @@ func TestPrefixSumBadLengthPanics(t *testing.T) {
 	}()
 	PrefixSum(1, make([]int64, 3), make([]int64, 3))
 }
+
+func TestForChunksWCoversExactlyOnceWithValidWorkers(t *testing.T) {
+	const n = 1000
+	bounds := CostBounds(make([]int64, n), 4) // zero costs: even split
+	hits := make([]int32, n)
+	var badWorker atomic.Int32
+	ForChunksW(4, bounds, func(w, lo, hi int) {
+		if w < 0 || w >= 4 {
+			badWorker.Store(int32(w + 1))
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	if bw := badWorker.Load(); bw != 0 {
+		t.Fatalf("worker index out of range: %d", bw-1)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("item %d hit %d times", i, h)
+		}
+	}
+}
+
+// TestForChunksWPerWorkerExclusive checks the contract callers rely on
+// for per-worker accumulator kits: a given worker index is never active
+// on two chunks at once.
+func TestForChunksWPerWorkerExclusive(t *testing.T) {
+	bounds := Blocks(512, 64)
+	var active [8]atomic.Int32
+	var violated atomic.Bool
+	ForChunksW(8, bounds, func(w, lo, hi int) {
+		if active[w].Add(1) != 1 {
+			violated.Store(true)
+		}
+		for i := 0; i < 100; i++ {
+			_ = i * i
+		}
+		active[w].Add(-1)
+	})
+	if violated.Load() {
+		t.Fatal("same worker index active on two chunks concurrently")
+	}
+}
+
+func TestListSchedule(t *testing.T) {
+	// Greedy earliest-free replay: w0 takes 4; w1 takes 2, 2; the final
+	// 2 goes to whichever freed first (w1 at t=4 ties w0; w0 wins the
+	// tie by index) -> makespan 6.
+	if got := ListSchedule([]float64{4, 2, 2, 2}, 2); got != 6 {
+		t.Fatalf("makespan = %v, want 6", got)
+	}
+	// One worker: makespan is the sum.
+	if got := ListSchedule([]float64{1, 2, 3}, 1); got != 6 {
+		t.Fatalf("1-worker makespan = %v, want 6", got)
+	}
+	// More workers than chunks: makespan is the max.
+	if got := ListSchedule([]float64{1, 5, 2}, 8); got != 5 {
+		t.Fatalf("8-worker makespan = %v, want 5", got)
+	}
+	// Degenerate inputs.
+	if got := ListSchedule(nil, 4); got != 0 {
+		t.Fatalf("empty makespan = %v, want 0", got)
+	}
+	if got := ListSchedule([]float64{3}, 0); got != 3 {
+		t.Fatalf("0-worker makespan = %v, want 3", got)
+	}
+}
+
+// TestListScheduleBalancedNearPerfect: on CostBounds-shaped chunk lists
+// (many similar chunks), the scheduled speedup must approach the worker
+// count — the property BENCH_cpu.json's thread_scaling gates assert.
+func TestListScheduleBalancedNearPerfect(t *testing.T) {
+	durations := make([]float64, 64)
+	for i := range durations {
+		durations[i] = 1 + float64(i%5)/100
+	}
+	var sum float64
+	for _, d := range durations {
+		sum += d
+	}
+	for _, w := range []int{2, 4, 8} {
+		speedup := sum / ListSchedule(durations, w)
+		if speedup < 0.9*float64(w) {
+			t.Fatalf("scheduled speedup at %d workers = %.2f, want >= %.2f", w, speedup, 0.9*float64(w))
+		}
+	}
+}

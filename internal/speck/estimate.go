@@ -147,13 +147,13 @@ type RowEstimate struct {
 	EstTotal int64
 }
 
-// expectedDistinct is the balls-in-bins collision correction: throwing
+// ExpectedDistinct is the balls-in-bins collision correction: throwing
 // `products` candidate columns uniformly at `width` slots yields
 // width*(1-(1-1/width)^products) expected distinct columns. Skewed
 // column distributions produce fewer distinct columns than uniform
 // ones, so the uniform assumption errs toward over-allocation — the
 // safe direction. Clamped to [1, min(products, width)].
-func expectedDistinct(width, products int64) int64 {
+func ExpectedDistinct(width, products int64) int64 {
 	if width <= 0 || products <= 0 {
 		return 0
 	}
@@ -197,7 +197,7 @@ func EstimateRows(a, b *csr.Matrix, ub []int64, cfg EstimatorConfig) *RowEstimat
 		if ub[i] == 0 {
 			continue
 		}
-		est := expectedDistinct(width, ub[i])
+		est := ExpectedDistinct(width, ub[i])
 		re.Est[i] = est
 		re.EstTotal += est
 		if cfg.ExactBelow >= 0 && ub[i] <= cfg.ExactBelow {
@@ -257,7 +257,7 @@ func EstimateTotalNnz(a, b *csr.Matrix, cfg EstimatorConfig) int64 {
 	width := int64(b.Cols)
 	var total int64
 	for i := range ub {
-		total += expectedDistinct(width, ub[i])
+		total += ExpectedDistinct(width, ub[i])
 	}
 	_ = cfg
 	return total

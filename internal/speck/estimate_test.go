@@ -152,9 +152,9 @@ func TestExpectedDistinct(t *testing.T) {
 		{100, 100, 60, 100}, // 1-1/e of the width, roughly
 	}
 	for _, c := range cases {
-		got := expectedDistinct(c.width, c.products)
+		got := ExpectedDistinct(c.width, c.products)
 		if got < c.wantMin || got > c.wantMax {
-			t.Fatalf("expectedDistinct(%d, %d) = %d, want [%d, %d]",
+			t.Fatalf("ExpectedDistinct(%d, %d) = %d, want [%d, %d]",
 				c.width, c.products, got, c.wantMin, c.wantMax)
 		}
 	}
